@@ -1,0 +1,42 @@
+"""Design-choice ablations (beyond the paper's figures; see DESIGN.md)."""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.experiments import run_experiment
+
+
+@pytest.mark.parametrize("exp_id", ["abl_tsgen", "abl_tsdefer",
+                                    "abl_residual_assign", "abl_latency",
+                                    "abl_queue_execution"])
+def test_ablation(benchmark, exp_id, scale, results_dir):
+    series = benchmark.pedantic(
+        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+    )
+    save_series(results_dir, series)
+    for system in series.systems():
+        assert series.get(system, "ycsb").throughput > 0
+
+
+def test_isolation_ablation(benchmark, scale, results_dir):
+    series = benchmark.pedantic(
+        run_experiment, args=("abl_isolation", scale), rounds=1, iterations=1
+    )
+    save_series(results_dir, series)
+    # TSKD's edge is at least as large under SI, where the conflict graph
+    # (write-write only) is sparser and almost everything schedules.
+    ser_gain = series.improvement("TSKD[0]", "DBCC", "serializable")
+    si_gain = series.improvement("TSKD[0]", "DBCC", "snapshot")
+    assert si_gain > -10.0
+    assert si_gain >= ser_gain - 20.0
+
+
+def test_fallback_queues_raise_scheduled_pct(scale, results_dir):
+    """The fallback-queue extension must schedule at least as much of the
+    residual as the literal Algorithm 1."""
+    series = run_experiment("abl_tsgen", scale)
+    save_series(results_dir, series)
+    default = series.get("default", "ycsb").scheduled_pct
+    literal = series.get("literal Alg.1", "ycsb").scheduled_pct
+    assert default is not None and literal is not None
+    assert default >= literal - 0.02

@@ -1,0 +1,37 @@
+"""Figure 4 — TSKD on partitioning-based systems (Section 6.2).
+
+One benchmark per panel; each regenerates the panel's series at bench
+scale, persists the numbers, and sanity-checks the cells.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.experiments import run_experiment
+
+PANELS = [
+    "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+    "fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l",
+]
+
+
+@pytest.mark.parametrize("exp_id", PANELS)
+def test_fig4_panel(benchmark, exp_id, scale, results_dir):
+    series = benchmark.pedantic(
+        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+    )
+    save_series(results_dir, series)
+    assert series.x_values
+    for system in series.systems():
+        for x in series.x_values:
+            assert series.get(system, x).throughput > 0
+
+
+def test_fig4a_tskd_beats_partitioners_on_average(scale, results_dir):
+    """The headline direction: averaged over the theta sweep, each TSKD
+    instance outperforms (or at minimum matches) its partitioner."""
+    series = run_experiment("fig4a", scale)
+    save_series(results_dir, series)
+    for ours, base in (("TSKD[S]", "Strife"), ("TSKD[H]", "Horticulture")):
+        gains = [series.improvement(ours, base, x) for x in series.x_values]
+        assert sum(gains) / len(gains) > -10.0  # direction with noise floor

@@ -1,0 +1,28 @@
+"""Figure 5 — TSKD (TsDEFER) on CC-based systems (Section 6.3)."""
+
+import pytest
+
+from conftest import save_series
+from repro.bench.experiments import run_experiment
+
+PANELS = ["fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f",
+          "fig5g", "fig5h"]
+
+
+@pytest.mark.parametrize("exp_id", PANELS)
+def test_fig5_panel(benchmark, exp_id, scale, results_dir):
+    series = benchmark.pedantic(
+        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+    )
+    save_series(results_dir, series)
+    for system in series.systems():
+        for x in series.x_values:
+            assert series.get(system, x).throughput > 0
+
+
+def test_fig5a_deferment_reduces_retries_on_average(scale, results_dir):
+    series = run_experiment("fig5a", scale)
+    save_series(results_dir, series)
+    cuts = [series.retry_reduction("TSKD[CC]", "DBCC", x)
+            for x in series.x_values]
+    assert sum(cuts) / len(cuts) > -5.0  # deferment never adds retries net

@@ -1,0 +1,17 @@
+"""Figure 6 — impact of I/O latency on TsDEFER (Section 6.3)."""
+
+from conftest import save_series
+from repro.bench.experiments import run_experiment
+
+
+def test_fig6(benchmark, scale, results_dir):
+    series = benchmark.pedantic(
+        run_experiment, args=("fig6", scale), rounds=1, iterations=1
+    )
+    save_series(results_dir, series)
+    # Raw throughput must degrade as worst-case I/O latency grows.
+    l_io_points = [x for x in series.x_values if str(x).startswith("l_IO=")]
+    if len(l_io_points) >= 2:
+        first = series.get("DBCC", l_io_points[0]).throughput
+        last = series.get("DBCC", l_io_points[-1]).throughput
+        assert last < first

@@ -1,0 +1,16 @@
+"""Table 2 — scheduling accuracy (s%) and TsDEFER's queue-retry cut."""
+
+from conftest import save_series
+from repro.bench.experiments import run_experiment
+
+
+def test_table2(benchmark, scale, results_dir):
+    series = benchmark.pedantic(
+        run_experiment, args=("table2", scale), rounds=1, iterations=1
+    )
+    save_series(results_dir, series)
+    # A decent share of the residual is scheduled (paper: 20.8% - 69.7%).
+    for bench in series.x_values:
+        cell = series.get("TSKD[S] w/ defer", bench)
+        assert cell.scheduled_pct is not None
+        assert cell.scheduled_pct >= 0.15

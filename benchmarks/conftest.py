@@ -1,0 +1,37 @@
+"""Benchmark configuration: scale and result persistence.
+
+Each figure/table benchmark regenerates one paper artifact via
+``repro.bench.experiments`` and writes the rendered series to
+``benchmarks/results/<exp_id>.txt`` so the numbers behind the figure are
+inspectable after a run.  pytest-benchmark times the regeneration itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import Scale
+
+#: Laptop-bench scale: big enough for stable shapes, small enough that
+#: the full figure suite finishes in minutes.
+BENCH_SCALE = Scale(name="bench", bundle=800, seeds=(0, 1), threads=16,
+                    ycsb_records=20_000_000, tpcc_warehouses=32)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return BENCH_SCALE
+
+
+def save_series(results_dir: pathlib.Path, series) -> None:
+    (results_dir / f"{series.exp_id}.txt").write_text(series.render() + "\n")

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scheduling with application-specified dependencies (Limitation 2).
+
+CC-based execution cannot enforce causal ordering between transactions
+("TsDEFER ... do[es] not have control on the global order"); scheduling
+can.  This example models a payment pipeline where each customer's
+transactions must apply in order (authorise -> capture -> settle), builds
+the dependency DAG, and schedules it with TSgen:
+
+* the schedule honours every chain (verified by the checker),
+* chains serialise on one queue or across queues with disjoint runtimes,
+* unrelated customers still run concurrently.
+
+Run:  python examples/dependent_transactions.py
+"""
+
+from repro import MulticoreEngine, Rng, SimConfig, make_transaction, read, write, workload_from
+from repro.core import DependencySet, check_schedule_dependencies, tsgen_from_scratch
+from repro.sim import assert_serializable
+from repro.txn import OpCountCostModel
+
+NUM_CUSTOMERS = 30
+STAGES = ("authorise", "capture", "settle")
+
+
+def build_pipeline():
+    """Three ordered transactions per customer over shared ledger rows."""
+    rng = Rng(7)
+    txns, deps = [], DependencySet()
+    tid = 0
+    for customer in range(NUM_CUSTOMERS):
+        chain = []
+        for stage in STAGES:
+            ops = [
+                read("account", customer),
+                write("account", customer),
+                # A few touches on shared ledger shards create cross-
+                # customer conventional conflicts for the scheduler.
+                read("ledger", rng.randint(0, 5)),
+                write("ledger", rng.randint(0, 5)),
+            ]
+            txns.append(make_transaction(tid, ops, template=stage,
+                                         params={"customer": customer}))
+            chain.append(tid)
+            tid += 1
+        deps.add(chain[0], chain[1])
+        deps.add(chain[1], chain[2])
+    return workload_from(txns, name="payments"), deps
+
+
+def main() -> None:
+    workload, deps = build_pipeline()
+    print(f"{len(workload)} transactions, {len(deps)} dependency edges "
+          f"({NUM_CUSTOMERS} authorise->capture->settle chains)\n")
+
+    schedule = tsgen_from_scratch(workload, k=6, cost=OpCountCostModel(),
+                                  rng=Rng(1), check=True, dependencies=deps)
+    problems = check_schedule_dependencies(schedule, deps)
+    print(f"schedule: {sum(len(q) for q in schedule.queues)} queued over "
+          f"{schedule.k} threads, {len(schedule.residual)} residual, "
+          f"dependency violations: {len(problems)}")
+    print(f"scheduled makespan: {schedule.makespan()} units "
+          f"(serial would be {sum(t.num_ops for t in workload)})\n")
+
+    # Execute phase 1 (the queues), then the residual — grouped by
+    # customer chain and topologically ordered, so causal order holds
+    # there too (the component-assignment option TSKD exposes).
+    sim = SimConfig(num_threads=6, op_cost=1000, cc_op_overhead=0,
+                    commit_overhead=0, dispatch_cost=0)
+    engine = MulticoreEngine(sim, record_history=True)
+    r1 = engine.run([list(q) for q in schedule.queues])
+
+    from repro.core import topological_order
+
+    chains: dict[int, list] = {}
+    for t in topological_order(schedule.residual, deps):
+        chains.setdefault(t.params["customer"], []).append(t)
+    buffers = [[] for _ in range(6)]
+    for i, chain in enumerate(chains.values()):
+        buffers[i % 6].extend(chain)
+    r2 = engine.run(buffers, start_time=r1.end_time)
+
+    assert_serializable(engine.history)
+    commit_at = {rec.tid: rec.commit_time for rec in engine.history}
+    ordered = sum(
+        1 for before, after in deps.edges()
+        if commit_at[before] <= commit_at[after]
+    )
+    print(f"executed: {r1.counters.committed} queued + "
+          f"{r2.counters.committed} residual commits, "
+          f"{r1.counters.aborts + r2.counters.aborts} retries")
+    print(f"dependency edges committed in order: {ordered}/{len(deps)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables offline `pip install -e .` via the legacy editable path."""
+
+from setuptools import setup
+
+setup()

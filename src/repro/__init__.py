@@ -1,0 +1,158 @@
+"""repro — TSKD: Transaction Scheduling, from Conflicts to Runtime Conflicts.
+
+A full reproduction of Cao, Fan, Ou, Xie & Zhao, SIGMOD 2023
+(DOI 10.1145/3603164): the TSKD transaction-scheduling/deferment tool, the
+partitioners and CC protocols it is evaluated against, a discrete-event
+multicore engine standing in for DBx1000, and the TPC-C / YCSB workloads
+with the paper's runtime-skew and I/O-latency extensions.
+
+Quick start::
+
+    from repro import (TSKD, ExperimentConfig, SimConfig, YcsbConfig,
+                       YcsbGenerator, run_system)
+
+    workload = YcsbGenerator(YcsbConfig(theta=0.8), seed=1).make_workload(2000)
+    exp = ExperimentConfig(sim=SimConfig(num_threads=8))
+    baseline = run_system(workload, "dbcc", exp)
+    ours = run_system(workload, TSKD.instance("CC"), exp)
+    print(baseline.summary())
+    print(ours.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .bench.runner import engine_of, run_system, system_name
+from .bench.workloads import (
+    TpccGenerator,
+    YcsbGenerator,
+    apply_io_latency,
+    apply_runtime_skew,
+)
+from .cc import PROTOCOLS, CCProtocol, make_protocol
+from .common import (
+    CYCLES_PER_SECOND,
+    TSDEFER_DISABLED,
+    ExperimentConfig,
+    IoLatencyConfig,
+    ReproError,
+    Rng,
+    RunResult,
+    RuntimeSkewConfig,
+    SimConfig,
+    TpccConfig,
+    TsDeferConfig,
+    YcsbConfig,
+)
+from .core import (
+    TSKD,
+    DependencySet,
+    ExecutionPlan,
+    ProgressTable,
+    Schedule,
+    TsDefer,
+    TsPar,
+    tsgen,
+    tsgen_from_scratch,
+    tune_tsdefer,
+)
+from .partition import (
+    PARTITIONERS,
+    HorticulturePartitioner,
+    PartitionPlan,
+    SchismPartitioner,
+    StrifePartitioner,
+    extract_residual,
+    make_partitioner,
+)
+from .sim import (
+    MulticoreEngine,
+    assert_serializable,
+    assert_snapshot_consistent,
+    is_serializable,
+    warm_up_history,
+)
+from .storage import Database, Table
+from .common.config import ycsb_core_workload
+from .txn import (
+    ConflictGraph,
+    HistoryCostModel,
+    IsolationLevel,
+    Operation,
+    OpKind,
+    Transaction,
+    Workload,
+    in_conflict,
+    load_workload,
+    make_transaction,
+    read,
+    save_workload,
+    workload_from,
+    write,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CYCLES_PER_SECOND",
+    "CCProtocol",
+    "ConflictGraph",
+    "Database",
+    "DependencySet",
+    "ExecutionPlan",
+    "ExperimentConfig",
+    "HistoryCostModel",
+    "HorticulturePartitioner",
+    "IoLatencyConfig",
+    "IsolationLevel",
+    "MulticoreEngine",
+    "OpKind",
+    "Operation",
+    "PARTITIONERS",
+    "PROTOCOLS",
+    "PartitionPlan",
+    "ProgressTable",
+    "ReproError",
+    "Rng",
+    "RunResult",
+    "RuntimeSkewConfig",
+    "Schedule",
+    "SchismPartitioner",
+    "SimConfig",
+    "StrifePartitioner",
+    "TSDEFER_DISABLED",
+    "TSKD",
+    "Table",
+    "TpccConfig",
+    "TpccGenerator",
+    "Transaction",
+    "TsDefer",
+    "TsDeferConfig",
+    "TsPar",
+    "Workload",
+    "YcsbConfig",
+    "YcsbGenerator",
+    "apply_io_latency",
+    "apply_runtime_skew",
+    "assert_serializable",
+    "assert_snapshot_consistent",
+    "engine_of",
+    "load_workload",
+    "save_workload",
+    "tune_tsdefer",
+    "ycsb_core_workload",
+    "extract_residual",
+    "in_conflict",
+    "is_serializable",
+    "make_partitioner",
+    "make_protocol",
+    "make_transaction",
+    "read",
+    "run_system",
+    "system_name",
+    "tsgen",
+    "tsgen_from_scratch",
+    "warm_up_history",
+    "workload_from",
+    "write",
+]

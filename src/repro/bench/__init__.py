@@ -1,0 +1,5 @@
+"""Benchmark harness: workload generators, runner, experiment definitions."""
+
+from .runner import engine_of, run_system, system_name
+
+__all__ = ["engine_of", "run_system", "system_name"]

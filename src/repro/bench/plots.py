@@ -1,0 +1,70 @@
+"""Text plots: horizontal-bar renderings of experiment series.
+
+No plotting dependency, terminal-friendly; the CLI and the bench results
+use these to make figure shapes visible at a glance::
+
+    fig4a throughput @ theta=0.8
+    Strife        |############################                 130,677
+    TSKD[S]       |######################################       177,501
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .reporting import Cell, Series
+
+BAR_WIDTH = 44
+
+
+def bar_chart(
+    series: Series,
+    x,
+    metric: Callable[[Cell], float] = lambda c: c.throughput,
+    title: str = "throughput",
+    width: int = BAR_WIDTH,
+) -> str:
+    """Render one sweep point as a labelled horizontal bar chart."""
+    rows = []
+    for system in series.systems():
+        cell = series.cells.get((system, x))
+        if cell is not None:
+            rows.append((system, metric(cell)))
+    if not rows:
+        return f"(no data for {series.exp_id} @ {x})"
+    top = max(value for _n, value in rows) or 1.0
+    label_w = max(len(name) for name, _v in rows)
+    lines = [f"{series.exp_id} {title} @ {series.x_label}={x}"]
+    for name, value in rows:
+        bar = "#" * max(1, int(width * value / top)) if value > 0 else ""
+        lines.append(f"{name:<{label_w}} |{bar:<{width}} {value:>12,.0f}")
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    series: Series,
+    system: str,
+    metric: Callable[[Cell], float] = lambda c: c.throughput,
+    title: str = "throughput",
+    width: int = BAR_WIDTH,
+) -> str:
+    """Render one system across the sweep as a bar chart."""
+    rows = []
+    for x in series.x_values:
+        cell = series.cells.get((system, x))
+        if cell is not None:
+            rows.append((str(x), metric(cell)))
+    if not rows:
+        return f"(no data for {system} in {series.exp_id})"
+    top = max(value for _n, value in rows) or 1.0
+    label_w = max(len(name) for name, _v in rows)
+    lines = [f"{series.exp_id} {title} for {system} over {series.x_label}"]
+    for name, value in rows:
+        bar = "#" * max(1, int(width * value / top)) if value > 0 else ""
+        lines.append(f"{name:<{label_w}} |{bar:<{width}} {value:>12,.0f}")
+    return "\n".join(lines)
+
+
+def series_charts(series: Series) -> str:
+    """Throughput bar charts for every sweep point of a series."""
+    return "\n\n".join(bar_chart(series, x) for x in series.x_values)

@@ -1,0 +1,83 @@
+"""Plain-text reporting of experiment series (the rows the paper plots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..common.stats import improvement_pct, reduction_pct
+
+
+@dataclass
+class Cell:
+    """One (system, x-value) measurement averaged over seeds."""
+
+    throughput: float
+    retries_per_100k: float
+    deferrals: float = 0.0
+    scheduled_pct: float | None = None
+    imbalance: float | None = None
+    latency_p50: float = 0.0
+    latency_p99: float = 0.0
+
+
+@dataclass
+class Series:
+    """One experiment: x-axis values by system name -> Cell."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    x_values: list
+    cells: dict[tuple[str, object], Cell] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def put(self, system: str, x, cell: Cell) -> None:
+        self.cells[(system, x)] = cell
+
+    def get(self, system: str, x) -> Cell:
+        return self.cells[(system, x)]
+
+    def systems(self) -> list[str]:
+        seen: list[str] = []
+        for system, _x in self.cells:
+            if system not in seen:
+                seen.append(system)
+        return seen
+
+    def improvement(self, ours: str, baseline: str, x) -> float:
+        """Throughput improvement of ``ours`` over ``baseline`` at x, in %."""
+        return improvement_pct(self.get(ours, x).throughput,
+                               self.get(baseline, x).throughput)
+
+    def retry_reduction(self, ours: str, baseline: str, x) -> float:
+        return reduction_pct(self.get(ours, x).retries_per_100k,
+                             self.get(baseline, x).retries_per_100k)
+
+    def render(self) -> str:
+        """Format the series as the table of numbers behind the figure."""
+        lines = [f"== {self.exp_id}: {self.title}"]
+        header = f"{self.x_label:>10} | " + " | ".join(
+            f"{s:>22}" for s in self.systems()
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for x in self.x_values:
+            row = [f"{str(x):>10}"]
+            for s in self.systems():
+                cell = self.cells.get((s, x))
+                if cell is None:
+                    row.append(f"{'-':>22}")
+                else:
+                    row.append(
+                        f"{cell.throughput:>11,.0f}/{cell.retries_per_100k:>8,.0f}"
+                    )
+            lines.append(" | ".join(row))
+        lines.append("(cells: throughput txn/s / retries per 100k txns)")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def render_all(series: Iterable[Series]) -> str:
+    return "\n\n".join(s.render() for s in series)

@@ -1,0 +1,185 @@
+"""Experiment runner: execute one workload under one system, measure.
+
+A *system* is any of:
+
+* a :class:`~repro.partition.Partitioner` — the baseline partitioning
+  execution: CC-free partitions as thread buffers (with CC underneath, as
+  in the paper's testbed), then the residual round-robin;
+* a :class:`~repro.core.TSKD` instance — queues + residual, with TsDEFER
+  installed on the engine;
+* the string ``"dbcc"`` — DBx1000's default: round-robin buffers + CC.
+
+Every run builds a fresh engine so protocol state never leaks between
+systems, and all systems of one experiment share the same workload
+objects (same skew bounds, same I/O stalls) and the same conflict graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..common.config import ExperimentConfig
+from ..common.rng import Rng
+from ..common.stats import Counters, RunResult, percentile
+from ..core.tskd import TSKD
+from ..partition.base import Partitioner
+from ..sim.engine import MulticoreEngine
+from ..sim.warmup import warm_up_history
+from ..txn.conflict_graph import ConflictGraph
+from ..txn.cost import CostModel
+from ..txn.workload import Workload, split_round_robin
+
+System = Union[Partitioner, TSKD, str]
+
+
+def system_name(system: System) -> str:
+    if isinstance(system, str):
+        return system.upper()
+    if isinstance(system, TSKD):
+        return system.name
+    return system.name.capitalize()
+
+
+def run_system(
+    workload: Workload,
+    system: System,
+    exp: ExperimentConfig,
+    cost: Optional[CostModel] = None,
+    graph: Optional[ConflictGraph] = None,
+    name: Optional[str] = None,
+    record_history: bool = False,
+    db=None,
+) -> RunResult:
+    """Execute ``workload`` under ``system`` and return the measurements."""
+    sim = exp.sim
+    k = sim.num_threads
+    rng = Rng(exp.seed * 31 + 5)
+    if cost is None:
+        cost = warm_up_history(workload, sim, rng=rng.fork(1))
+
+    dispatch_filter = None
+    progress_hooks = None
+    schedule = None
+    phases: list[list[list]] = []
+
+    if isinstance(system, str):
+        if system.lower() != "dbcc":
+            raise ValueError(f"unknown system string {system!r}")
+        phases = [split_round_robin(list(workload), k)]
+    elif isinstance(system, TSKD):
+        if graph is not None and graph.isolation is not system.isolation:
+            graph = None  # caller's graph is for a different isolation level
+        if graph is None and system.use_tspar:
+            graph = workload.conflict_graph(system.isolation)
+        plan = system.prepare(workload, k, cost, rng=rng.fork(2), graph=graph)
+        schedule = plan.schedule
+        phases = plan.phases
+        tsdefer = system.make_filter(k, rng=rng.fork(3))
+        if tsdefer is not None:
+            dispatch_filter = tsdefer
+            progress_hooks = tsdefer
+    else:  # baseline partitioner: sees access sets only, not cost estimates
+        if graph is None:
+            graph = workload.conflict_graph()
+        plan = system.partition(workload, k, graph=graph, cost=None,
+                                rng=rng.fork(2))
+        plan.validate(workload)
+        phases = [[list(p) for p in plan.parts]]
+        if plan.residual:
+            phases.append(split_round_robin(plan.residual, k))
+
+    totals = Counters()
+    busy = [0] * k
+    clock = 0
+    queue_retries: Optional[int] = None
+    latencies: list[int] = []
+    contended = 0
+
+    enforced = (
+        isinstance(system, TSKD)
+        and system.use_tspar
+        and system.queue_execution == "enforced"
+        and schedule is not None
+    )
+    if enforced:
+        # Phase 1 CC-free: the scheduled order is upheld by dependency
+        # gating, so no CC bookkeeping runs at all (Section 6.1 footnote).
+        from ..core.enforced import ScheduleEnforcer
+
+        enforcer = ScheduleEnforcer(schedule, graph)
+        free_sim = sim.with_(cc="none", cc_op_overhead=0, commit_overhead=0)
+        gate_engine = MulticoreEngine(
+            free_sim, db=db, dispatch_gate=enforcer, progress_hooks=enforcer,
+            record_history=record_history,
+        )
+        enforcer.bind(gate_engine)
+        result = gate_engine.run(phases[0])
+        clock = result.end_time
+        totals.merge(result.counters)
+        latencies.extend(result.latencies)
+        for i, b in enumerate(result.thread_busy):
+            busy[i] += b
+        queue_retries = result.counters.aborts
+        contended += gate_engine.protocol.contended
+        remaining = phases[1:]
+        shared_versions = gate_engine.versions
+        shared_history = gate_engine.history
+    else:
+        remaining = phases
+        shared_versions = None
+        shared_history = None
+
+    engine = MulticoreEngine(
+        sim,
+        dispatch_filter=dispatch_filter,
+        progress_hooks=progress_hooks,
+        record_history=record_history,
+        db=db,
+        versions=shared_versions,
+        history=shared_history,
+    )
+    if dispatch_filter is not None:
+        # Bounded future probing reads remote queues past headp.
+        dispatch_filter.table.bind_buffers(engine.buffer_of)
+
+    for phase_idx, buffers in enumerate(remaining):
+        result = engine.run(buffers, start_time=clock)
+        clock = result.end_time
+        totals.merge(result.counters)
+        latencies.extend(result.latencies)
+        for i, b in enumerate(result.thread_busy):
+            busy[i] += b
+        if phase_idx == 0 and schedule is not None and not enforced:
+            queue_retries = result.counters.aborts
+    contended += engine.protocol.contended
+    latencies.sort()
+
+    run = RunResult(
+        name=name or system_name(system),
+        committed=totals.committed,
+        makespan_cycles=clock,
+        retries=totals.aborts,
+        deferrals=totals.deferrals,
+        contended_accesses=contended,
+        wasted_cycles=totals.wasted_cycles,
+        blocked_cycles=totals.blocked_cycles,
+        num_threads=k,
+        thread_busy_cycles=tuple(busy),
+        scheduled_pct=schedule.scheduled_pct if schedule is not None else None,
+        queue_retries=queue_retries,
+        latency_p50=percentile(latencies, 0.50),
+        latency_p95=percentile(latencies, 0.95),
+        latency_p99=percentile(latencies, 0.99),
+    )
+    if record_history:
+        # Stash the engine so callers can inspect history / storage.
+        object.__setattr__(run, "_engine", engine)
+    return run
+
+
+def engine_of(result: RunResult) -> MulticoreEngine:
+    """Engine behind a ``record_history=True`` run (tests/diagnostics)."""
+    engine = getattr(result, "_engine", None)
+    if engine is None:
+        raise ValueError("run_system was not called with record_history=True")
+    return engine

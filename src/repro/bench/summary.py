@@ -1,0 +1,97 @@
+"""Improvement summaries: the paper's headline numbers from raw series.
+
+The paper reports averages like "TSKD improves the throughput of
+partitioners by 131% on average, up to 294%".  This module computes the
+same aggregates from experiment series: per baseline-pair improvement and
+retry reduction, per sweep point and averaged, plus the overall
+partitioning-side and CC-side headlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..common.stats import improvement_pct, reduction_pct
+from .experiments import PAIRS
+from .reporting import Series
+
+
+@dataclass(frozen=True)
+class PairSummary:
+    """One TSKD-instance-vs-baseline aggregate over a series."""
+
+    exp_id: str
+    ours: str
+    baseline: str
+    mean_improvement: float
+    max_improvement: float
+    mean_retry_reduction: float
+
+    def render(self) -> str:
+        return (f"{self.exp_id:>12} {self.ours:>10} vs {self.baseline:<13} "
+                f"tput {self.mean_improvement:+7.1f}% avg "
+                f"(max {self.max_improvement:+7.1f}%), "
+                f"retry cut {self.mean_retry_reduction:+6.1f}%")
+
+
+def summarize_series(series: Series) -> list[PairSummary]:
+    """Per-pair aggregates for every TSKD system present in the series."""
+    out: list[PairSummary] = []
+    systems = set(series.systems())
+    for ours, baseline in PAIRS.items():
+        if ours not in systems or baseline not in systems:
+            continue
+        imps, reds = [], []
+        for x in series.x_values:
+            if (ours, x) not in series.cells or (baseline, x) not in series.cells:
+                continue
+            a, b = series.get(ours, x), series.get(baseline, x)
+            imps.append(improvement_pct(a.throughput, b.throughput))
+            reds.append(reduction_pct(a.retries_per_100k, b.retries_per_100k))
+        if not imps:
+            continue
+        out.append(PairSummary(
+            exp_id=series.exp_id, ours=ours, baseline=baseline,
+            mean_improvement=sum(imps) / len(imps),
+            max_improvement=max(imps),
+            mean_retry_reduction=sum(reds) / len(reds),
+        ))
+    return out
+
+
+def headline(summaries: Iterable[PairSummary]) -> str:
+    """The two headline averages: partitioning-side and CC-side."""
+    part = [s for s in summaries if s.baseline != "DBCC"]
+    cc = [s for s in summaries if s.baseline == "DBCC"]
+    lines = []
+    if part:
+        mean = sum(s.mean_improvement for s in part) / len(part)
+        peak = max(s.max_improvement for s in part)
+        retr = sum(s.mean_retry_reduction for s in part) / len(part)
+        lines.append(
+            f"partitioning-based: TSKD improves throughput by {mean:+.1f}% "
+            f"avg (up to {peak:+.1f}%), retry cut {retr:+.1f}% "
+            f"[paper: +131% avg, up to +294%; retry cut 45.3%]"
+        )
+    if cc:
+        mean = sum(s.mean_improvement for s in cc) / len(cc)
+        peak = max(s.max_improvement for s in cc)
+        retr = sum(s.mean_retry_reduction for s in cc) / len(cc)
+        lines.append(
+            f"CC-based: TSKD[CC] improves DBCC by {mean:+.1f}% avg "
+            f"(up to {peak:+.1f}%), retry cut {retr:+.1f}% "
+            f"[paper: +109% avg, up to +152%; retry cut 45.7%]"
+        )
+    return "\n".join(lines)
+
+
+def summarize_all(series_list: Sequence[Series]) -> str:
+    """Full text summary: per-pair lines plus the headlines."""
+    summaries: list[PairSummary] = []
+    for series in series_list:
+        summaries.extend(summarize_series(series))
+    lines = [s.render() for s in summaries]
+    lines.append("")
+    lines.append(headline(summaries))
+    return "\n".join(lines)

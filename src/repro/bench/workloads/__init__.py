@@ -1,0 +1,23 @@
+"""Benchmark workload generators: YCSB, full TPC-C, skew and I/O extensions."""
+
+from .iolat import apply_io_latency
+from .skew import apply_runtime_skew, average_runtime_cycles
+from .tpcc import TABLES as TPCC_TABLES
+from .tpcc import TEMPLATES as TPCC_TEMPLATES
+from .tpcc import TpccGenerator
+from .tpcc_check import assert_tpcc_consistent, tpcc_violations
+from .ycsb import TABLE as YCSB_TABLE
+from .ycsb import YcsbGenerator
+
+__all__ = [
+    "TPCC_TABLES",
+    "TPCC_TEMPLATES",
+    "TpccGenerator",
+    "YCSB_TABLE",
+    "YcsbGenerator",
+    "apply_io_latency",
+    "apply_runtime_skew",
+    "assert_tpcc_consistent",
+    "average_runtime_cycles",
+    "tpcc_violations",
+]

@@ -1,0 +1,32 @@
+"""I/O-latency extension (Section 6.1, "Extension with I/O latency").
+
+Adds an artificial delay at transaction commit time, similar to Calvin's
+log-stall knob [47]: each transaction draws its commit stall from
+``[0, l_io * minIO]`` under a Zipfian distribution with skewness
+``theta_io``, where minIO is 5000 cycles (about 1/6 of an average TPC-C
+transaction and 1/8 of a YCSB one under the default cost model).  Larger
+``l_io`` lengthens the worst case; larger ``theta_io`` concentrates mass
+at short stalls — a longer-*tailed* distribution.
+"""
+
+from __future__ import annotations
+
+from ...common.config import MIN_IO_CYCLES, IoLatencyConfig
+from ...common.rng import Rng, zipf_bounded
+from ...txn.workload import Workload
+
+
+def apply_io_latency(
+    workload: Workload,
+    io: IoLatencyConfig,
+    rng: Rng | None = None,
+    seed: int = 0,
+) -> Workload:
+    """Attach commit-time I/O stalls to every transaction (in place)."""
+    if not io.enabled:
+        return workload
+    rng = rng or Rng(seed + 47)
+    hi = io.l_io * MIN_IO_CYCLES
+    for txn in workload.transactions:
+        txn.io_delay_cycles = int(zipf_bounded(rng, 0.0, float(hi), io.theta_io))
+    return workload

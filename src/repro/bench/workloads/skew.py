@@ -1,0 +1,58 @@
+"""Runtime-skewness extension (Section 6.1, "Extension with runtime skewness").
+
+Both TPC-C and YCSB transactions are short; the paper lower-bounds their
+runtime to emulate transactions of varying length: each transaction draws
+a minimum runtime from ``[minT * t_avg, p * minT * t_avg]`` under a
+Zipfian distribution with skewness ``theta_T``, where ``t_avg`` is the
+average (unextended) transaction runtime.  A transaction that would
+finish before its bound delays its commit until the bound elapses.
+
+This module *mutates* the workload's transactions in place (setting
+``min_runtime_cycles``) and stamps each with a coarse ``runtime_class``
+parameter — the complexity-class signal the history-based cost estimator
+keys on, keeping estimates coarse-but-correlated rather than oracular.
+"""
+
+from __future__ import annotations
+
+from ...common.config import RuntimeSkewConfig, SimConfig
+from ...common.rng import Rng, zipf_bounded
+from ...txn.workload import Workload
+
+
+def average_runtime_cycles(workload: Workload, sim: SimConfig) -> int:
+    """Average abort-free serial runtime of the (unextended) workload."""
+    if not len(workload):
+        return 1
+    total = 0
+    for t in workload.transactions:
+        total += (
+            sim.dispatch_cost
+            + t.num_ops * (sim.op_cost + sim.cc_op_overhead)
+            + sim.commit_overhead
+        )
+    return max(1, total // len(workload))
+
+
+def apply_runtime_skew(
+    workload: Workload,
+    skew: RuntimeSkewConfig,
+    sim: SimConfig,
+    rng: Rng | None = None,
+) -> Workload:
+    """Attach Zipfian minimum runtimes to every transaction (in place)."""
+    if not skew.enabled:
+        return workload
+    rng = rng or Rng(sim.seed + 23)
+    t_avg = average_runtime_cycles(workload, sim)
+    unit = max(1.0, skew.min_t * t_avg)
+    hi = skew.p * unit
+    for txn in workload.transactions:
+        bound = int(zipf_bounded(rng, unit, hi, skew.theta_t))
+        txn.min_runtime_cycles = bound
+        # Complexity class for history-based estimation: which multiple of
+        # the unit the bound falls into.  The estimator still only sees
+        # noisy within-class averages, so estimates stay coarse.
+        klass = int(bound // max(1.0, unit))
+        txn.params = {**txn.params, "runtime_class": klass}
+    return workload

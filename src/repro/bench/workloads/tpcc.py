@@ -1,0 +1,280 @@
+"""Full-mix TPC-C workload generator (Section 6.1).
+
+The paper extends DBx1000's NewOrder/Payment-only TPC-C to the full
+benchmark "by following [6]": insertions enabled in NewOrder and Payment,
+plus OrderStatus, StockLevel and Delivery.  This generator produces all
+five transaction types over the nine TPC-C tables, with the paper's c%
+knob controlling the fraction of NewOrder/Payment transactions that touch
+a remote warehouse.
+
+Transactions are materialised with their full access sets (the
+stored-procedure assumption): order ids are assigned deterministically at
+generation time from per-district counters — the standard deterministic-
+database technique [4] for making insert key sets known up-front — and
+Delivery pops the oldest undelivered order the generator is tracking.
+StockLevel's scan over recent order lines is resolved optimistically and
+the transaction is flagged ``has_range``, so schedulers keep it under CC
+(Section 3, Limitations).
+
+Tables (primary keys):
+    warehouse(w)  district(w,d)  customer(w,d,c)  history(hid)
+    item(i)  stock(w,i)  orders(w,d,o)  new_order(w,d,o)
+    order_line(w,d,o,ol)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ...common.config import TpccConfig
+from ...common.rng import Rng, weighted_choice
+from ...storage.database import Database
+from ...txn.operation import Operation, OpKind, insert, read, write
+from ...txn.transaction import Transaction
+from ...txn.workload import Workload
+
+W, D, C, H = "warehouse", "district", "customer", "history"
+I, S, O, NO, OL = "item", "stock", "orders", "new_order", "order_line"
+
+#: TPC-C tables and whether they need an ordered index (range logic).
+TABLES: tuple[tuple[str, bool], ...] = (
+    (W, False), (D, False), (C, False), (H, False), (I, False),
+    (S, False), (O, True), (NO, True), (OL, True),
+)
+
+TEMPLATES = ("NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel")
+
+#: Orders pre-loaded per district so Delivery/OrderStatus/StockLevel have
+#: history to work against from the first bundle.
+_INITIAL_ORDERS = 10
+
+
+@dataclass
+class _OrderInfo:
+    o_id: int
+    c_id: int
+    items: tuple[int, ...]
+
+
+class _DistrictState:
+    """Generator-side mirror of a district's order bookkeeping."""
+
+    __slots__ = ("next_o_id", "open_orders", "recent", "last_order_of",
+                 "initial_orders")
+
+    def __init__(self, customers: int, items: int, rng: Rng):
+        self.next_o_id = _INITIAL_ORDERS + 1
+        self.open_orders: deque[_OrderInfo] = deque()
+        self.recent: deque[_OrderInfo] = deque(maxlen=20)
+        self.last_order_of: dict[int, _OrderInfo] = {}
+        for o_id in range(1, _INITIAL_ORDERS + 1):
+            c_id = rng.randint(1, customers)
+            n = rng.randint(5, 15)
+            order = _OrderInfo(o_id, c_id,
+                               tuple(rng.randint(1, items) for _ in range(n)))
+            self.open_orders.append(order)
+            self.recent.append(order)
+            self.last_order_of[c_id] = order
+        #: Immutable snapshot used by populate(), so loading the database
+        #: is correct even after transactions have been generated.
+        self.initial_orders: tuple[_OrderInfo, ...] = tuple(self.open_orders)
+
+
+class TpccGenerator:
+    """Deterministic full-mix TPC-C generator."""
+
+    def __init__(self, config: TpccConfig = TpccConfig(), seed: int = 0):
+        self.config = config
+        self._rng = Rng(seed * 104729 + 31)
+        self._h_id = 0
+        self._districts: dict[tuple[int, int], _DistrictState] = {}
+        for w_id in range(1, config.num_warehouses + 1):
+            for d_id in range(1, config.districts_per_warehouse + 1):
+                self._districts[(w_id, d_id)] = _DistrictState(
+                    config.customers_per_district, config.items, self._rng
+                )
+
+    # ------------------------------------------------------------------
+    def make_workload(self, n: int, tid_start: int = 0, name: str = "tpcc") -> Workload:
+        txns = [self.make_transaction(tid_start + i) for i in range(n)]
+        return Workload(txns, name=name)
+
+    def make_transaction(self, tid: int) -> Transaction:
+        which = weighted_choice(self._rng, self.config.mix)
+        maker = (self._new_order, self._payment, self._order_status,
+                 self._delivery, self._stock_level)[which]
+        return maker(tid)
+
+    def _home(self) -> tuple[int, int]:
+        rng = self._rng
+        return (rng.randint(1, self.config.num_warehouses),
+                rng.randint(1, self.config.districts_per_warehouse))
+
+    def _customer(self) -> int:
+        return self._rng.randint(1, self.config.customers_per_district)
+
+    def _remote_warehouse(self, home: int) -> int:
+        if self.config.num_warehouses == 1:
+            return home
+        while True:
+            w = self._rng.randint(1, self.config.num_warehouses)
+            if w != home:
+                return w
+
+    # -- NewOrder ---------------------------------------------------------
+    def _new_order(self, tid: int) -> Transaction:
+        rng = self._rng
+        cfg = self.config
+        w_id, d_id = self._home()
+        c_id = self._customer()
+        district = self._districts[(w_id, d_id)]
+        o_id = district.next_o_id
+        district.next_o_id += 1
+        n_items = rng.randint(5, 15)
+        cross = rng.chance(cfg.cross_pct)
+
+        ops: list[Operation] = [
+            read(W, w_id),                      # warehouse tax
+            read(D, (w_id, d_id)),
+            write(D, (w_id, d_id)),             # bump next_o_id
+            read(C, (w_id, d_id, c_id)),
+            insert(O, (w_id, d_id, o_id)),
+            insert(NO, (w_id, d_id, o_id)),
+        ]
+        item_ids: list[int] = []
+        for ol in range(1, n_items + 1):
+            i_id = rng.randint(1, cfg.items)
+            item_ids.append(i_id)
+            supply_w = w_id
+            if cross and (ol == 1 or rng.chance(0.3)):
+                supply_w = self._remote_warehouse(w_id)
+            ops.append(read(I, i_id))
+            ops.append(read(S, (supply_w, i_id)))
+            ops.append(write(S, (supply_w, i_id)))   # quantity/ytd update
+            ops.append(insert(OL, (w_id, d_id, o_id, ol)))
+
+        order = _OrderInfo(o_id, c_id, tuple(item_ids))
+        district.open_orders.append(order)
+        district.recent.append(order)
+        district.last_order_of[c_id] = order
+        return Transaction(
+            tid=tid, template="NewOrder", ops=tuple(ops),
+            params={"w_id": w_id, "d_id": d_id, "n_items": n_items,
+                    "cross": cross},
+        )
+
+    # -- Payment ----------------------------------------------------------
+    def _payment(self, tid: int) -> Transaction:
+        rng = self._rng
+        w_id, d_id = self._home()
+        c_id = self._customer()
+        cross = rng.chance(self.config.cross_pct)
+        c_w = self._remote_warehouse(w_id) if cross else w_id
+        c_d = rng.randint(1, self.config.districts_per_warehouse) if cross else d_id
+        self._h_id += 1
+        ops = (
+            read(W, w_id), write(W, w_id),              # warehouse ytd (hot!)
+            read(D, (w_id, d_id)), write(D, (w_id, d_id)),
+            read(C, (c_w, c_d, c_id)), write(C, (c_w, c_d, c_id)),
+            insert(H, self._h_id),
+        )
+        return Transaction(
+            tid=tid, template="Payment", ops=ops,
+            params={"w_id": w_id, "d_id": d_id, "cross": cross},
+        )
+
+    # -- OrderStatus (read-only) -------------------------------------------
+    def _order_status(self, tid: int) -> Transaction:
+        rng = self._rng
+        w_id, d_id = self._home()
+        district = self._districts[(w_id, d_id)]
+        c_id = rng.choice(sorted(district.last_order_of)) \
+            if district.last_order_of else self._customer()
+        order = district.last_order_of.get(c_id)
+        ops: list[Operation] = [read(C, (w_id, d_id, c_id))]
+        if order is not None:
+            ops.append(read(O, (w_id, d_id, order.o_id)))
+            for ol in range(1, len(order.items) + 1):
+                ops.append(read(OL, (w_id, d_id, order.o_id, ol)))
+        return Transaction(
+            tid=tid, template="OrderStatus", ops=tuple(ops),
+            params={"w_id": w_id, "d_id": d_id,
+                    "n_lines": 0 if order is None else len(order.items)},
+        )
+
+    # -- Delivery -----------------------------------------------------------
+    def _delivery(self, tid: int) -> Transaction:
+        rng = self._rng
+        w_id = rng.randint(1, self.config.num_warehouses)
+        ops: list[Operation] = []
+        delivered = 0
+        for d_id in range(1, self.config.districts_per_warehouse + 1):
+            district = self._districts[(w_id, d_id)]
+            if not district.open_orders:
+                continue
+            order = district.open_orders.popleft()
+            delivered += 1
+            ops.append(read(NO, (w_id, d_id, order.o_id)))
+            ops.append(write(NO, (w_id, d_id, order.o_id)))  # mark delivered
+            ops.append(read(O, (w_id, d_id, order.o_id)))
+            ops.append(write(O, (w_id, d_id, order.o_id)))   # carrier id
+            for ol in range(1, len(order.items) + 1):
+                ops.append(write(OL, (w_id, d_id, order.o_id, ol)))
+            ops.append(read(C, (w_id, d_id, order.c_id)))
+            ops.append(write(C, (w_id, d_id, order.c_id)))   # balance
+        if not ops:  # nothing to deliver anywhere: read the warehouse row
+            ops.append(read(W, w_id))
+        return Transaction(
+            tid=tid, template="Delivery", ops=tuple(ops),
+            params={"w_id": w_id, "n_orders": delivered},
+        )
+
+    # -- StockLevel (read-only, range) ---------------------------------------
+    def _stock_level(self, tid: int) -> Transaction:
+        rng = self._rng
+        w_id, d_id = self._home()
+        district = self._districts[(w_id, d_id)]
+        ops: list[Operation] = [read(D, (w_id, d_id))]
+        seen_items: set[int] = set()
+        for order in list(district.recent):
+            for ol in range(1, len(order.items) + 1):
+                ops.append(Operation(OpKind.SCAN, OL, (w_id, d_id, order.o_id, ol)))
+            seen_items.update(order.items)
+        for i_id in sorted(seen_items):
+            ops.append(read(S, (w_id, i_id)))
+        return Transaction(
+            tid=tid, template="StockLevel", ops=tuple(ops),
+            params={"w_id": w_id, "d_id": d_id},
+            has_range=True,
+        )
+
+    # ------------------------------------------------------------------
+    def populate(self, db: Database) -> None:
+        """Load the nine tables at the configured scale.
+
+        Intended for integration tests at small scale; the benchmark
+        harness runs storage-free (conflict behaviour only needs the
+        shared version words).
+        """
+        cfg = self.config
+        for name, ordered in TABLES:
+            db.create_table(name, ordered=ordered)
+        for w_id in range(1, cfg.num_warehouses + 1):
+            db.table(W).insert(w_id, {"ytd": 0.0, "tax": 0.05})
+            for i_id in range(1, cfg.items + 1):
+                db.table(S).insert((w_id, i_id), {"quantity": 50})
+            for d_id in range(1, cfg.districts_per_warehouse + 1):
+                db.table(D).insert((w_id, d_id), {"next_o_id": _INITIAL_ORDERS + 1})
+                for c_id in range(1, cfg.customers_per_district + 1):
+                    db.table(C).insert((w_id, d_id, c_id), {"balance": 0.0})
+                district = self._districts[(w_id, d_id)]
+                for order in district.initial_orders:
+                    db.table(O).insert((w_id, d_id, order.o_id),
+                                       {"c_id": order.c_id})
+                    db.table(NO).insert((w_id, d_id, order.o_id), {})
+                    for ol, i_id in enumerate(order.items, start=1):
+                        db.table(OL).insert((w_id, d_id, order.o_id, ol),
+                                            {"i_id": i_id})
+        for i_id in range(1, cfg.items + 1):
+            db.table(I).insert(i_id, {"price": 1.0})

@@ -1,0 +1,117 @@
+"""TPC-C structural consistency checks.
+
+TPC-C's specification defines consistency conditions over the database
+state; the subset checkable under this engine's value model (writes carry
+opaque payloads, not computed columns) is structural:
+
+* every ORDER row has its ORDER-LINE rows (one per item of the order);
+* every NEW-ORDER row references an existing ORDER row;
+* ORDER rows exist exactly for the initially-loaded orders plus one per
+  committed NewOrder transaction;
+* a district's orders have distinct, contiguous-from-load order ids;
+* committed Payment transactions each inserted one HISTORY row.
+
+Run after executing a TPC-C workload against a populated database with
+``record_history=True``; violations indicate an isolation or
+write-application bug, so the integration suite treats any as fatal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ...storage.database import Database
+from ...txn.transaction import Transaction
+from .tpcc import _INITIAL_ORDERS, D, H, NO, O, OL
+
+
+def tpcc_violations(
+    db: Database,
+    committed_tids: Iterable[int],
+    workload: Sequence[Transaction],
+) -> list[str]:
+    """Check the structural invariants; returns violation descriptions."""
+    committed = set(committed_tids)
+    by_tid = {t.tid: t for t in workload}
+    problems: list[str] = []
+
+    orders = db.table(O)
+    order_lines = db.table(OL)
+    new_orders = db.table(NO)
+    history = db.table(H)
+
+    # Order-line rows grouped by their order.
+    lines_of: dict[tuple, set[int]] = defaultdict(set)
+    for key in order_lines.keys():
+        w_id, d_id, o_id, ol = key
+        lines_of[(w_id, d_id, o_id)].add(ol)
+
+    # (1) every ORDER has contiguous order lines 1..n.
+    for okey in orders.keys():
+        lines = lines_of.get(okey, set())
+        if not lines:
+            problems.append(f"order {okey} has no order lines")
+        elif lines != set(range(1, max(lines) + 1)):
+            problems.append(f"order {okey} has gaps in its lines: {sorted(lines)}")
+
+    # (2) every NEW-ORDER references an ORDER.
+    for nkey in new_orders.keys():
+        if nkey not in orders:
+            problems.append(f"new_order {nkey} has no matching order")
+
+    # (3) ORDER count == loaded orders + committed NewOrders.  The load
+    # puts _INITIAL_ORDERS orders in every district (Delivery may later
+    # update them, so writer provenance cannot identify them).
+    committed_new_orders = sum(
+        1 for tid in committed
+        if tid in by_tid and by_tid[tid].template == "NewOrder"
+    )
+    loaded_orders = len(db.table(D)) * _INITIAL_ORDERS
+    expected = loaded_orders + committed_new_orders
+    if len(orders) != expected:
+        problems.append(
+            f"order count {len(orders)} != loaded {loaded_orders} + "
+            f"committed NewOrders {committed_new_orders}"
+        )
+
+    # (4) per-district order ids are distinct (keys guarantee it) and the
+    # maximum grows only by committed NewOrders in that district.
+    per_district_new = defaultdict(int)
+    for tid in committed:
+        t = by_tid.get(tid)
+        if t is not None and t.template == "NewOrder":
+            per_district_new[(t.params["w_id"], t.params["d_id"])] += 1
+
+    max_oid: dict[tuple, int] = {}
+    for w_id, d_id, o_id in orders.keys():
+        max_oid[(w_id, d_id)] = max(max_oid.get((w_id, d_id), 0), o_id)
+    for district, top in max_oid.items():
+        allowed = _INITIAL_ORDERS + per_district_new.get(district, 0)
+        if top > allowed:
+            problems.append(
+                f"district {district}: max order id {top} exceeds loaded "
+                f"{_INITIAL_ORDERS} + new {per_district_new.get(district, 0)}"
+            )
+
+    # (5) one HISTORY row per committed Payment.
+    committed_payments = sum(
+        1 for tid in committed
+        if tid in by_tid and by_tid[tid].template == "Payment"
+    )
+    inserted_history = sum(
+        1 for hkey in history.keys() if history.get(hkey).last_writer != -1
+    )
+    if inserted_history != committed_payments:
+        problems.append(
+            f"history rows inserted {inserted_history} != committed "
+            f"Payments {committed_payments}"
+        )
+
+    return problems
+
+
+def assert_tpcc_consistent(db: Database, committed_tids, workload) -> None:
+    """Raise AssertionError listing the first violations found."""
+    found = tpcc_violations(db, committed_tids, workload)
+    assert not found, "; ".join(found[:5])

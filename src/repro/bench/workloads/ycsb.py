@@ -1,0 +1,75 @@
+"""YCSB core-A workload generator (Section 6.1).
+
+Mirrors DBx1000's built-in YCSB driver: one key-value table, each
+transaction touching ``ops_per_txn`` distinct records (16 by default),
+50/50 read/update, keys drawn from a scrambled Zipfian distribution whose
+``theta`` controls contention.  The table size is configurable; the
+paper's 20M records is scaled down by default (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ...common.config import YcsbConfig
+from ...common.rng import Rng, ZipfianGenerator, fnv_hash64
+from ...storage.database import Database
+from ...txn.operation import Operation, OpKind
+from ...txn.transaction import Transaction
+from ...txn.workload import Workload
+
+#: The single YCSB table name.
+TABLE = "usertable"
+
+
+class YcsbGenerator:
+    """Deterministic YCSB transaction and database generator."""
+
+    def __init__(self, config: YcsbConfig = YcsbConfig(), seed: int = 0):
+        self.config = config
+        self._rng = Rng(seed * 7919 + 13)
+        self._zipf = ZipfianGenerator(config.num_records, config.theta, self._rng)
+
+    def _next_key(self) -> int:
+        return fnv_hash64(self._zipf.next()) % self.config.num_records
+
+    def make_transaction(self, tid: int) -> Transaction:
+        """One YCSB transaction: ops_per_txn distinct keys, mixed R/W.
+
+        With ``scan_ratio`` > 0, some operations become short range scans
+        (YCSB-E): their key sets are resolved optimistically and the
+        transaction is flagged ``has_range``.
+        """
+        cfg = self.config
+        keys: list[int] = []
+        seen: set[int] = set()
+        while len(keys) < cfg.ops_per_txn:
+            key = self._next_key()
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        ops: list[Operation] = []
+        has_range = False
+        for key in keys:
+            if cfg.scan_ratio > 0 and self._rng.chance(cfg.scan_ratio):
+                has_range = True
+                for offset in range(cfg.scan_length):
+                    ops.append(Operation(
+                        OpKind.SCAN, TABLE,
+                        (key + offset) % cfg.num_records,
+                    ))
+            elif self._rng.chance(cfg.read_ratio):
+                ops.append(Operation(OpKind.READ, TABLE, key))
+            else:
+                ops.append(Operation(OpKind.WRITE, TABLE, key))
+        return Transaction(tid=tid, template="ycsb", ops=tuple(ops),
+                           params={"n_ops": len(ops)}, has_range=has_range)
+
+    def make_workload(self, n: int, tid_start: int = 0, name: str = "ycsb") -> Workload:
+        return Workload([self.make_transaction(tid_start + i) for i in range(n)],
+                        name=name)
+
+    def populate(self, db: Database) -> None:
+        """Create and fill the usertable (integration-test scale only)."""
+        table = db.create_table(TABLE)
+        payload = "x" * self.config.record_size
+        for key in range(self.config.num_records):
+            table.insert(key, payload)

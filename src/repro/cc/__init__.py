@@ -1,0 +1,61 @@
+"""Concurrency-control protocols for the simulated engine.
+
+The registry mirrors DBx1000's CC menu used in the paper's experiments
+(OCC, SILO, TICTOC) plus the two locking protocols for completeness.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from .base import ACCESS_OK, AccessResult, AccessStatus, CCProtocol, LockMode, LockTable
+from .hstore import HstoreProtocol
+from .locking import NoWait2PL, WaitDie2PL
+from .mvcc import MvccProtocol, SerializableMvccProtocol
+from .nocc import NoCCProtocol
+from .occ import OccProtocol
+from .silo import SiloProtocol
+from .tictoc import TicTocProtocol
+
+#: CC protocol name -> class: the names Table 1 uses (lowercased) plus
+#: the multi-version protocols ("mvcc" = snapshot isolation,
+#: "mvcc_ser" = serializable snapshot-based OCC).
+PROTOCOLS: dict[str, type[CCProtocol]] = {
+    "occ": OccProtocol,
+    "silo": SiloProtocol,
+    "tictoc": TicTocProtocol,
+    "nowait": NoWait2PL,
+    "waitdie": WaitDie2PL,
+    "mvcc": MvccProtocol,
+    "mvcc_ser": SerializableMvccProtocol,
+    "hstore": HstoreProtocol,
+    "none": NoCCProtocol,
+}
+
+
+def make_protocol(name: str) -> CCProtocol:
+    """Instantiate a protocol by its registry name (case-insensitive)."""
+    cls = PROTOCOLS.get(name.lower())
+    if cls is None:
+        raise ConfigError(f"unknown CC protocol {name!r}; known: {sorted(PROTOCOLS)}")
+    return cls()
+
+
+__all__ = [
+    "ACCESS_OK",
+    "AccessResult",
+    "AccessStatus",
+    "CCProtocol",
+    "HstoreProtocol",
+    "LockMode",
+    "LockTable",
+    "MvccProtocol",
+    "NoCCProtocol",
+    "NoWait2PL",
+    "OccProtocol",
+    "PROTOCOLS",
+    "SerializableMvccProtocol",
+    "SiloProtocol",
+    "TicTocProtocol",
+    "WaitDie2PL",
+    "make_protocol",
+]

@@ -1,0 +1,228 @@
+"""Concurrency-control protocol interface and shared plumbing.
+
+Protocols plug into the discrete-event engine (:mod:`repro.sim.engine`).
+The engine executes operations one at a time on a simulated clock and asks
+the protocol, at each access and at commit, what happens:
+
+* :meth:`CCProtocol.on_access` — outcome of one read/write/insert.  It can
+  succeed, abort the transaction (conflict penalty!), or block the thread
+  (pessimistic protocols).
+* :meth:`CCProtocol.on_commit` — validation at the commit point; True
+  means the transaction may install its writes.
+* :meth:`CCProtocol.cleanup` — release protocol state (locks) when the
+  attempt ends, either committed or aborted.
+* :meth:`CCProtocol.install` — post-validation version bookkeeping.
+
+Because the engine serialises all events on one virtual clock, protocol
+metadata operations are naturally atomic — the simulated analog of the
+atomic sections real protocols build from latches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..common.errors import SimulationError
+from ..txn.operation import Key, Operation
+from ..txn.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import ActiveTxn
+
+
+class AccessStatus(enum.Enum):
+    OK = "ok"
+    ABORT = "abort"
+    WAIT = "wait"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    status: AccessStatus
+    reason: str = ""
+
+
+ACCESS_OK = AccessResult(AccessStatus.OK)
+
+
+class CCProtocol:
+    """Base class; subclasses implement one concrete protocol.
+
+    ``contended`` counts detected conflicts (the #contended_mutex analog)
+    and is reset per run by the engine.
+    """
+
+    name = "base"
+
+    def __init__(self):
+        self.contended = 0
+        self._engine = None
+        #: Shared committed-version store, injected by the engine; the
+        #: engine reads it when recording histories, protocols bump it in
+        #: :meth:`install`.
+        self.versions: dict[Key, int] = {}
+
+    def bind(self, engine) -> None:
+        """Attach to an engine: gives access to wakeups, the shared version
+        store, and other threads' active transactions (wait-die needs the
+        latter to compare transaction timestamps)."""
+        self._engine = engine
+        self.versions = engine.versions
+
+    def reset(self) -> None:
+        """Clear all protocol metadata between runs."""
+        self.contended = 0
+
+    # -- hooks ---------------------------------------------------------
+    def begin(self, active: "ActiveTxn", now: int) -> None:
+        """Called when an attempt starts executing its first operation.
+
+        Runs once per *attempt* (retries re-run it), so snapshot-taking
+        protocols refresh their snapshot on every retry.
+        """
+
+    def read_version(self, active: "ActiveTxn", key: Key) -> int:
+        """Which committed version a read of ``key`` observes right now.
+
+        Single-version protocols see the latest committed version;
+        multi-version protocols override to apply snapshot visibility.
+        The engine records this in the execution history.
+        """
+        return self.versions.get(key, 0)
+
+    def on_access(self, active: "ActiveTxn", op: Operation, now: int) -> AccessResult:
+        raise NotImplementedError
+
+    def pre_commit(self, active: "ActiveTxn", now: int) -> bool:
+        """Entry to the commit phase (before the validation work elapses).
+
+        Protocols that lock their write set for the commit window (Silo)
+        do it here; returning False aborts the attempt immediately.
+        """
+        return True
+
+    def on_commit(self, active: "ActiveTxn", now: int) -> bool:
+        """Validate; return False to abort at the commit point."""
+        raise NotImplementedError
+
+    def install(self, active: "ActiveTxn", now: int) -> None:
+        """Version bookkeeping after a successful validation.
+
+        The default bumps the shared version counter of every written key;
+        timestamp protocols override to maintain their own words too.
+        """
+        for key in active.write_buffer:
+            self.versions[key] = self.versions.get(key, 0) + 1
+
+    def cleanup(self, active: "ActiveTxn", committed: bool, now: int) -> None:
+        """Release per-attempt protocol state (locks, ...)."""
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    """One record's lock word: holder set plus a FIFO wait queue."""
+
+    mode: Optional[LockMode] = None
+    holders: set[int] = field(default_factory=set)  # thread ids
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+    def compatible(self, mode: LockMode, thread_id: int) -> bool:
+        if not self.holders:
+            return True
+        if self.holders == {thread_id}:
+            return True  # re-entrant / upgrade by sole holder
+        return mode is LockMode.SHARED and self.mode is LockMode.SHARED
+
+
+class LockTable:
+    """Record-granularity S/X lock manager shared by the 2PL protocols.
+
+    Threads (not transactions) are the lock owners, because the engine
+    runs one transaction per thread at a time; this matches how DBx1000's
+    per-record lock words behave.
+    """
+
+    def __init__(self):
+        self._locks: dict[Key, _LockState] = {}
+
+    def reset(self) -> None:
+        self._locks.clear()
+
+    def state(self, key: Key) -> _LockState:
+        st = self._locks.get(key)
+        if st is None:
+            st = _LockState()
+            self._locks[key] = st
+        return st
+
+    def try_acquire(self, key: Key, thread_id: int, mode: LockMode) -> bool:
+        """Acquire immediately if compatible; never blocks."""
+        st = self.state(key)
+        if not st.compatible(mode, thread_id):
+            return False
+        self._grant(st, thread_id, mode)
+        return True
+
+    def _grant(self, st: _LockState, thread_id: int, mode: LockMode) -> None:
+        st.holders.add(thread_id)
+        if st.mode is None or mode is LockMode.EXCLUSIVE:
+            st.mode = mode
+        # sole-holder upgrade S -> X
+        if st.holders == {thread_id} and mode is LockMode.EXCLUSIVE:
+            st.mode = LockMode.EXCLUSIVE
+
+    def enqueue(self, key: Key, thread_id: int, mode: LockMode) -> None:
+        st = self.state(key)
+        if any(t == thread_id for t, _ in st.waiters):
+            raise SimulationError(f"thread {thread_id} already waiting on {key}")
+        st.waiters.append((thread_id, mode))
+
+    def holders(self, key: Key) -> set[int]:
+        st = self._locks.get(key)
+        return set(st.holders) if st else set()
+
+    def release_all(self, thread_id: int, held: set[Key]) -> list[tuple[int, Key]]:
+        """Release this thread's locks; return (thread, key) grants to wake."""
+        woken: list[tuple[int, Key]] = []
+        for key in held:
+            st = self._locks.get(key)
+            if st is None or thread_id not in st.holders:
+                continue
+            st.holders.discard(thread_id)
+            st.waiters = [(t, m) for (t, m) in st.waiters if t != thread_id]
+            if not st.holders:
+                st.mode = None
+            woken.extend((t, key) for t in self._grant_waiters(st))
+        return woken
+
+    def cancel_wait(self, key: Key, thread_id: int) -> None:
+        st = self._locks.get(key)
+        if st is not None:
+            st.waiters = [(t, m) for (t, m) in st.waiters if t != thread_id]
+
+    def _grant_waiters(self, st: _LockState) -> list[int]:
+        """Grant every waiter compatible with the (updated) holder set.
+
+        Deliberately not strict FIFO: a sole-holder upgrade (S held,
+        X queued) must be grantable even when an earlier, incompatible
+        X waiter sits ahead of it — otherwise the upgrader blocks behind
+        a waiter that is itself blocked on the upgrader's S lock, a
+        deadlock wait-die's holder-only age check cannot see.
+        """
+        granted: list[int] = []
+        remaining: list[tuple[int, LockMode]] = []
+        for thread_id, mode in st.waiters:
+            if st.compatible(mode, thread_id):
+                self._grant(st, thread_id, mode)
+                granted.append(thread_id)
+            else:
+                remaining.append((thread_id, mode))
+        st.waiters = remaining
+        return granted

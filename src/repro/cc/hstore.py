@@ -1,0 +1,83 @@
+"""H-Store-style partition-level locking (Kallman et al. / DBx1000 HSTORE).
+
+The coarsest protocol in DBx1000's menu: the database is hash-partitioned
+into k partitions and a transaction must own the partition lock of every
+partition it touches for its whole duration.  Single-partition
+transactions are then free of record-level CC entirely; multi-partition
+transactions serialise on the partition locks.
+
+Here a transaction's partition set is derived up-front from its access
+set (the stored-procedure assumption), acquired in sorted order at the
+first operation; a conflict aborts and retries (no-wait, so the engine's
+backoff jitter breaks symmetric livelock).  This gives TSKD an
+interesting substrate: coarse CC makes *conventional* conflicts very
+expensive, so scheduling away runtime conflicts pays even more than under
+record-level protocols.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import zlib
+
+from ..txn.operation import Key, Operation
+from .base import ACCESS_OK, AccessResult, AccessStatus, CCProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import ActiveTxn
+
+_ABORT = AccessResult(AccessStatus.ABORT, "partition lock conflict")
+
+
+class HstoreProtocol(CCProtocol):
+    """Partition locks held for the transaction's full duration."""
+
+    name = "hstore"
+
+    def __init__(self, num_partitions: int = 16):
+        super().__init__()
+        self.num_partitions = num_partitions
+        self._owner: dict[int, int] = {}  # partition -> thread id
+
+    def reset(self) -> None:
+        super().reset()
+        self._owner.clear()
+
+    def partition_of(self, key: Key) -> int:
+        # Stable across processes (Python's str hash is salted per run).
+        return zlib.crc32(repr(key).encode()) % self.num_partitions
+
+    def partitions_of(self, txn) -> list[int]:
+        return sorted({self.partition_of(key) for key in txn.access_set})
+
+    def begin(self, active: "ActiveTxn", now: int) -> None:
+        active.ctx["hstore_wanted"] = self.partitions_of(active.txn)
+        active.ctx["hstore_held"] = []
+
+    def on_access(self, active: "ActiveTxn", op: Operation, now: int) -> AccessResult:
+        held: list[int] = active.ctx["hstore_held"]
+        if not held:  # first access: grab every partition lock at once
+            wanted = active.ctx["hstore_wanted"]
+            for p in wanted:
+                owner = self._owner.get(p)
+                if owner is not None and owner != active.thread_id:
+                    self.contended += 1
+                    return _ABORT
+            for p in wanted:
+                self._owner[p] = active.thread_id
+            held.extend(wanted)
+        if op.is_write:
+            active.write_buffer[op.record_key] = op.value
+        elif op.record_key not in active.observed:
+            active.observed[op.record_key] = self.versions.get(op.record_key, 0)
+        return ACCESS_OK
+
+    def on_commit(self, active: "ActiveTxn", now: int) -> bool:
+        return True  # partition ownership already excludes all conflicts
+
+    def cleanup(self, active: "ActiveTxn", committed: bool, now: int) -> None:
+        for p in active.ctx.get("hstore_held", ()):
+            if self._owner.get(p) == active.thread_id:
+                del self._owner[p]
+        active.ctx["hstore_held"] = []

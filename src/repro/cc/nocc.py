@@ -1,0 +1,36 @@
+"""No concurrency control at all.
+
+For executions whose safety is guaranteed externally: serial runs, and
+TSKD's *enforced* queue mode, where the scheduled order of RC-free queues
+is upheld by dependency gating (Section 6.1: "one can retain the lower
+cost of CC-free execution of the RC-free queues by enforcing the
+scheduled order via, e.g., dependency tracking").  Accesses carry no
+bookkeeping and commits always succeed — pair it with
+``SimConfig(cc_op_overhead=0, commit_overhead=0)`` to model the absent
+CC cost, and with :class:`repro.core.enforced.ScheduleEnforcer` to stay
+safe under concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..txn.operation import Operation
+from .base import ACCESS_OK, AccessResult, CCProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import ActiveTxn
+
+
+class NoCCProtocol(CCProtocol):
+    """Bookkeeping-free execution; correctness is the caller's problem."""
+
+    name = "none"
+
+    def on_access(self, active: "ActiveTxn", op: Operation, now: int) -> AccessResult:
+        if op.is_write:
+            active.write_buffer[op.record_key] = op.value
+        return ACCESS_OK
+
+    def on_commit(self, active: "ActiveTxn", now: int) -> bool:
+        return True

@@ -1,0 +1,39 @@
+"""Classic backward-validation OCC (Kung & Robinson style, DBx1000 OCC).
+
+Read phase: every access records the record's committed version at first
+touch; writes are buffered privately.  Validation at commit re-reads the
+current versions: any change means a conflicting transaction committed
+during this attempt's window, so the attempt aborts and retries — the
+abort/retry conflict penalty the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..txn.operation import Operation
+from .base import ACCESS_OK, AccessResult, CCProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import ActiveTxn
+
+
+class OccProtocol(CCProtocol):
+    """Optimistic concurrency control with full read+write-set validation."""
+
+    name = "occ"
+
+    def on_access(self, active: "ActiveTxn", op: Operation, now: int) -> AccessResult:
+        key = op.record_key
+        if key not in active.observed:
+            active.observed[key] = self.versions.get(key, 0)
+        if op.is_write:
+            active.write_buffer[key] = op.value
+        return ACCESS_OK
+
+    def on_commit(self, active: "ActiveTxn", now: int) -> bool:
+        for key, seen in active.observed.items():
+            if self.versions.get(key, 0) != seen:
+                self.contended += 1
+                return False
+        return True

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run``        — execute one workload under one system, print metrics;
+* ``compare``    — execute the same bundle under several systems;
+* ``experiment`` — regenerate paper figures (wraps repro.bench.experiments);
+* ``tune``       — pilot-run TsDEFER parameter tuning for a workload.
+
+Examples::
+
+    python -m repro run --workload ycsb --theta 0.9 --system tskd-s
+    python -m repro compare --workload tpcc --cross-pct 0.35 --bundle 1000
+    python -m repro experiment fig4a fig5g --quick
+    python -m repro tune --workload ycsb --theta 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .bench.experiments import main as experiments_main
+from .bench.runner import run_system
+from .bench.workloads import (
+    TpccGenerator,
+    YcsbGenerator,
+    apply_io_latency,
+    apply_runtime_skew,
+)
+from .common.config import (
+    ExperimentConfig,
+    IoLatencyConfig,
+    RuntimeSkewConfig,
+    SimConfig,
+    TpccConfig,
+    YcsbConfig,
+)
+from .core.autotune import tune_tsdefer
+from .core.tskd import TSKD
+from .partition import make_partitioner
+
+#: System spec names accepted by --system.  Append "!" to a tskd-* name
+#: for enforced CC-free queue execution (e.g. "tskd-s!").
+SYSTEMS = ("dbcc", "strife", "schism", "horticulture",
+           "tskd-s", "tskd-c", "tskd-h", "tskd-0", "tskd-cc")
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", choices=("ycsb", "tpcc"), default="ycsb")
+    p.add_argument("--bundle", type=int, default=1000,
+                   help="transactions per bundle")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--theta", type=float, default=0.8,
+                   help="YCSB Zipfian skew")
+    p.add_argument("--records", type=int, default=2_000_000,
+                   help="YCSB table size")
+    p.add_argument("--warehouses", type=int, default=40,
+                   help="TPC-C warehouse count")
+    p.add_argument("--cross-pct", type=float, default=0.25,
+                   help="TPC-C cross-warehouse fraction (c%%)")
+    p.add_argument("--threads", type=int, default=20)
+    p.add_argument("--cc", default="occ",
+                   help="CC protocol (occ/silo/tictoc/nowait/waitdie/mvcc/mvcc_ser)")
+    p.add_argument("--no-skew", action="store_true",
+                   help="disable the runtime-skew extension")
+    p.add_argument("--io", type=int, default=0, metavar="L_IO",
+                   help="enable the I/O-latency extension at this l_IO")
+
+
+def _build(args) -> tuple:
+    exp = ExperimentConfig(
+        sim=SimConfig(num_threads=args.threads, cc=args.cc),
+        skew=None if args.no_skew else RuntimeSkewConfig(),
+        io=IoLatencyConfig(l_io=args.io),
+        bundle_size=args.bundle,
+        seed=args.seed,
+    )
+    if args.workload == "ycsb":
+        gen = YcsbGenerator(YcsbConfig(num_records=args.records,
+                                       theta=args.theta), seed=args.seed)
+    else:
+        gen = TpccGenerator(TpccConfig(num_warehouses=args.warehouses,
+                                       cross_pct=args.cross_pct),
+                            seed=args.seed)
+    workload = gen.make_workload(args.bundle)
+    if exp.skew is not None:
+        apply_runtime_skew(workload, exp.skew, exp.sim)
+    if exp.io.enabled:
+        apply_io_latency(workload, exp.io, seed=args.seed)
+    return workload, exp
+
+
+def _make_system(name: str):
+    name = name.lower()
+    if name == "dbcc":
+        return "dbcc"
+    if name in ("strife", "schism", "horticulture"):
+        return make_partitioner(name)
+    if name.startswith("tskd-"):
+        enforced = name.endswith("!")
+        name = name.rstrip("!")
+        tskd = TSKD.instance(name.split("-", 1)[1].upper()
+                             if name != "tskd-0" else "0")
+        if enforced:
+            tskd.queue_execution = "enforced"
+        return tskd
+    raise SystemExit(f"unknown system {name!r}; choose from {SYSTEMS}")
+
+
+def _print_result(result) -> None:
+    print(f"{result.name:24s} {result.throughput:>11,.0f} txn/s  "
+          f"{result.retries_per_100k:>9,.0f} retr/100k  "
+          f"p50={result.latency_p50:,}cy p99={result.latency_p99:,}cy"
+          + (f"  s%={result.scheduled_pct * 100:.0f}"
+             if result.scheduled_pct is not None else ""))
+
+
+def cmd_run(args) -> int:
+    workload, exp = _build(args)
+    result = run_system(workload, _make_system(args.system), exp)
+    _print_result(result)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload, exp = _build(args)
+    graph = workload.conflict_graph()
+    for name in args.systems or ["dbcc", "strife", "tskd-s", "tskd-cc"]:
+        result = run_system(workload, _make_system(name), exp, graph=graph,
+                            name=name)
+        _print_result(result)
+    return 0
+
+
+def cmd_tune(args) -> int:
+    workload, exp = _build(args)
+    report = tune_tsdefer(workload, exp, instance=args.instance)
+    best = report.best
+    print(f"best TsDEFER config after {len(report.trials)} pilot runs:")
+    print(f"  #lookups={best.num_lookups}  deferp%={best.defer_prob}"
+          f"  future_depth={best.future_depth}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload under one system")
+    _add_workload_args(p_run)
+    p_run.add_argument("--system", default="tskd-s", help=f"one of {SYSTEMS}")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare systems on one bundle")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("systems", nargs="*", help=f"systems ({SYSTEMS})")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate paper figures/tables")
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+    p_exp.set_defaults(func=None)
+
+    p_tune = sub.add_parser("tune", help="tune TsDEFER for a workload")
+    _add_workload_args(p_tune)
+    p_tune.add_argument("--instance", default="CC",
+                        help="TSKD instance to tune (CC/S/C/H/0)")
+    p_tune.set_defaults(func=cmd_tune)
+
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        return experiments_main(args.rest)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,307 @@
+"""Configuration dataclasses.
+
+:class:`SimConfig` is the simulated-hardware cost model, and the workload
+configs capture Table 1 of the paper (ranges and defaults).  Every knob in
+Table 1 appears here under the same name where Python allows it:
+
+==============  =====================================================
+Paper knob      Field
+==============  =====================================================
+c%              TpccConfig.cross_pct
+#whn            TpccConfig.num_warehouses
+theta           YcsbConfig.theta
+#core           SimConfig.num_threads
+CC              SimConfig.cc  (one of repro.cc protocol names)
+minT            RuntimeSkewConfig.min_t
+p               RuntimeSkewConfig.p
+theta_T         RuntimeSkewConfig.theta_t
+l_IO            IoLatencyConfig.l_io
+theta_IO        IoLatencyConfig.theta_io
+#lookups        TsDeferConfig.num_lookups
+deferp%         TsDeferConfig.defer_prob
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+#: Simulated clock frequency used only to convert cycles into seconds when
+#: reporting throughput as transactions/second.  Matches a 2.0 GHz core.
+CYCLES_PER_SECOND = 2_000_000_000
+
+#: Minimum I/O delay in cycles — "minIO is set to 5000 CPU cycles" (Sec 6.1).
+MIN_IO_CYCLES = 5_000
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Cost model and shape of the simulated multicore engine.
+
+    All costs are in abstract CPU cycles on the simulated clock.  The
+    defaults put an average short TPC-C transaction around 30k cycles,
+    matching the paper's statement that 5000 cycles is ~1/6 of the average
+    TPC-C transaction runtime.
+    """
+
+    num_threads: int = 20
+    cc: str = "occ"
+    #: Cycles charged for each read/write/insert operation's useful work.
+    op_cost: int = 1_000
+    #: Per-operation CC bookkeeping charged on every access (CC overhead
+    #: type (a) of Section 2.1).
+    cc_op_overhead: int = 60
+    #: One-off cost of a commit-time validation / lock-release phase.
+    commit_overhead: int = 400
+    #: Penalty charged when a transaction aborts, before its retry
+    #: re-executes.  DBx1000 — the paper's testbed — backs aborted
+    #: transactions off for ABORT_PENALTY (tens of microseconds) before
+    #: restarting; 25,000 cycles is 12.5 us on the simulated 2 GHz core.
+    abort_penalty: int = 25_000
+    #: Cost of fetching the next transaction from the thread-local buffer.
+    dispatch_cost: int = 100
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_threads <= 0:
+            raise ConfigError(f"num_threads must be positive, got {self.num_threads}")
+        if self.op_cost <= 0:
+            raise ConfigError(f"op_cost must be positive, got {self.op_cost}")
+        for name in ("cc_op_overhead", "commit_overhead", "abort_penalty", "dispatch_cost"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    def with_(self, **kw) -> "SimConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class TsDeferConfig:
+    """TsDEFER knobs (Section 5, Table 1 gray rows).
+
+    ``num_lookups = 0`` disables proactive deferment entirely ("in the
+    extreme case, one can disable TsDEFER with #lookups = 0").
+    """
+
+    num_lookups: int = 2
+    defer_prob: float = 0.6
+    #: Number of witnessed conflicting probes needed to treat T as a
+    #: deferral candidate ("above a threshold (typically 1)").
+    threshold: int = 1
+    #: Trigger rule: "witness" (default; a probe hit T's access set, per
+    #: Example 5) or "duplicates" (the literal #lookups - d counting rule).
+    trigger: str = "witness"
+    #: Probe scope: "per_thread" issues #lookups probes against *each*
+    #: remote active transaction (the interpretation under which the
+    #: paper's Example 5 arithmetic and the widening gain with #core in
+    #: Fig 5c both hold — see DESIGN.md note 1); "global" issues #lookups
+    #: probes total across all remote threads (the literal reading).
+    lookup_scope: str = "per_thread"
+    #: How far past headp probes may look into each remote thread's queue
+    #: (Section 5: "check transactions that are further in the future
+    #: w.r.t. the one it sees from headp, within bounded steps").
+    #: 1 = active transaction only.
+    future_depth: int = 2
+    #: Cycles charged per lookup probe: one shared-structure read plus one
+    #: local access-set read — constant, per Section 5.
+    lookup_cost: int = 30
+    #: Cycles to move a transaction to the back of the local queue.
+    defer_cost: int = 60
+    #: Upper bound on how many times a single transaction may be deferred,
+    #: so the filter can never livelock a thread-local buffer.
+    max_defers: int = 32
+    #: Probability that a lookup observes the *previous* headp of a remote
+    #: thread, modelling the benign staleness of the lock-free structure.
+    stale_prob: float = 0.05
+    #: Fraction of each transaction's true access set visible to lookups —
+    #: the alpha knob of the "inaccurate access sets" experiment (Fig 5h).
+    access_set_accuracy: float = 1.0
+
+    def __post_init__(self):
+        if self.num_lookups < 0:
+            raise ConfigError(f"num_lookups must be >= 0, got {self.num_lookups}")
+        if not 0.0 <= self.defer_prob <= 1.0:
+            raise ConfigError(f"defer_prob must be in [0,1], got {self.defer_prob}")
+        if self.trigger not in ("witness", "duplicates"):
+            raise ConfigError(f"unknown trigger rule {self.trigger!r}")
+        if self.lookup_scope not in ("per_thread", "global"):
+            raise ConfigError(f"unknown lookup scope {self.lookup_scope!r}")
+        if self.future_depth < 1:
+            raise ConfigError(f"future_depth must be >= 1, got {self.future_depth}")
+        if not 0.0 <= self.access_set_accuracy <= 1.0:
+            raise ConfigError("access_set_accuracy must be in [0,1]")
+        if self.threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {self.threshold}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_lookups > 0
+
+    def with_(self, **kw) -> "TsDeferConfig":
+        return replace(self, **kw)
+
+
+#: A TsDeferConfig that turns the module off.
+TSDEFER_DISABLED = TsDeferConfig(num_lookups=0)
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """YCSB core-A workload (Section 6.1).
+
+    The paper uses a 20M-record table; ``num_records`` is scaled down by
+    default so the pure-Python engine stays laptop-sized — contention is
+    governed by ``theta`` and ``ops_per_txn``, not the absolute table size,
+    once the table is much larger than a bundle's working set.
+    """
+
+    num_records: int = 200_000
+    ops_per_txn: int = 16
+    read_ratio: float = 0.5  # YCSB-A: 50% reads / 50% writes
+    theta: float = 0.8
+    record_size: int = 128
+    #: Probability an operation is a short range scan instead of a point
+    #: access (YCSB-E flavour).  Scan-bearing transactions are flagged
+    #: ``has_range`` and stay under CC (Section 3, Limitations).
+    scan_ratio: float = 0.0
+    #: Keys per range scan.
+    scan_length: int = 20
+
+    def __post_init__(self):
+        if self.num_records <= 0:
+            raise ConfigError("num_records must be positive")
+        if self.ops_per_txn <= 0:
+            raise ConfigError("ops_per_txn must be positive")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ConfigError("read_ratio must be in [0,1]")
+        if not 0.0 <= self.scan_ratio <= 1.0:
+            raise ConfigError("scan_ratio must be in [0,1]")
+        if self.scan_length <= 0:
+            raise ConfigError("scan_length must be positive")
+
+    def with_(self, **kw) -> "YcsbConfig":
+        return replace(self, **kw)
+
+
+def ycsb_core_workload(which: str, **kw) -> YcsbConfig:
+    """YCSB core workload presets A/B/C/E [12, 55].
+
+    A = 50/50 update-heavy (the paper's default), B = 95/5 read-mostly,
+    C = read-only, E = short range scans (95% scan / 5% insert-ish
+    update).  Extra keyword arguments override any field.
+    """
+    presets = {
+        "a": dict(read_ratio=0.5),
+        "b": dict(read_ratio=0.95),
+        "c": dict(read_ratio=1.0),
+        "e": dict(read_ratio=0.95, scan_ratio=0.5, ops_per_txn=4),
+    }
+    base = presets.get(which.lower())
+    if base is None:
+        raise ConfigError(f"unknown YCSB core workload {which!r}; "
+                          f"known: {sorted(presets)}")
+    base.update(kw)
+    return YcsbConfig(**base)
+
+
+@dataclass(frozen=True)
+class TpccConfig:
+    """Full-mix TPC-C (Section 6.1): five transaction types with inserts.
+
+    ``cross_pct`` is the paper's c% knob — the fraction of NewOrder /
+    Payment transactions that touch a remote warehouse.  The standard
+    TPC-C mix percentages are kept as explicit fields so tests can pin
+    single-type workloads.
+    """
+
+    num_warehouses: int = 40
+    cross_pct: float = 0.25
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 300
+    items: int = 1_000
+    #: Standard TPC-C mix: NewOrder 45, Payment 43, OrderStatus 4,
+    #: Delivery 4, StockLevel 4.
+    mix: tuple[float, float, float, float, float] = (0.45, 0.43, 0.04, 0.04, 0.04)
+
+    def __post_init__(self):
+        if self.num_warehouses <= 0:
+            raise ConfigError("num_warehouses must be positive")
+        if not 0.0 <= self.cross_pct <= 1.0:
+            raise ConfigError("cross_pct must be in [0,1]")
+        if abs(sum(self.mix) - 1.0) > 1e-9:
+            raise ConfigError(f"transaction mix must sum to 1, got {sum(self.mix)}")
+
+    def with_(self, **kw) -> "TpccConfig":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class RuntimeSkewConfig:
+    """Runtime-skew extension (Section 6.1, red rows of Table 1).
+
+    Each transaction gets a minimum runtime drawn from
+    ``[min_t * t_avg, p * min_t * t_avg]`` under Zipf(theta_t), where
+    ``t_avg`` is the average transaction runtime of the unextended
+    workload.  A transaction that finishes earlier than its bound delays
+    its commit until the bound elapses.
+    """
+
+    min_t: float = 0.5
+    p: int = 48
+    theta_t: float = 0.8
+    enabled: bool = True
+
+    def __post_init__(self):
+        if self.min_t <= 0:
+            raise ConfigError("min_t must be positive")
+        if self.p < 1:
+            raise ConfigError("p must be >= 1")
+
+    def with_(self, **kw) -> "RuntimeSkewConfig":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class IoLatencyConfig:
+    """Commit-time I/O latency extension (Section 6.1).
+
+    Delays are drawn from ``[0, l_io * MIN_IO_CYCLES]`` under
+    Zipf(theta_io); larger ``l_io`` means a longer worst case and larger
+    ``theta_io`` a longer-tailed distribution.  ``l_io = 0`` disables the
+    extension (the paper's default outside the I/O experiments).
+    """
+
+    l_io: int = 0
+    theta_io: float = 1.2
+
+    def __post_init__(self):
+        if self.l_io < 0:
+            raise ConfigError("l_io must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.l_io > 0
+
+    def with_(self, **kw) -> "IoLatencyConfig":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Top-level bundle of everything one experiment run needs."""
+
+    sim: SimConfig = field(default_factory=SimConfig)
+    tsdefer: TsDeferConfig = field(default_factory=TsDeferConfig)
+    skew: Optional[RuntimeSkewConfig] = None
+    io: IoLatencyConfig = field(default_factory=IoLatencyConfig)
+    #: Transactions per bundle ("by default, each bundle consists of
+    #: 10,000 transactions"); scaled down by default for the simulator.
+    bundle_size: int = 2_000
+    seed: int = 0
+
+    def with_(self, **kw) -> "ExperimentConfig":
+        return replace(self, **kw)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload or transaction is malformed."""
+
+
+class StorageError(ReproError):
+    """A storage-level failure (unknown table, duplicate key, ...)."""
+
+
+class KeyNotFoundError(StorageError):
+    """A read or update referenced a key that does not exist."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert referenced a key that already exists."""
+
+
+class SchedulingError(ReproError):
+    """Transaction scheduling (TSgen / TsPAR) failed an invariant."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class TransactionAbort(ReproError):
+    """Internal control-flow signal: the active transaction must abort.
+
+    Raised by CC protocols during simulated execution; the engine catches
+    it, rolls back, and retries the transaction.  It is not part of the
+    public API surface.
+    """
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason)
+        self.reason = reason

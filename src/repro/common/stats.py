@@ -1,0 +1,127 @@
+"""Run metrics: what the paper measures and a few extra diagnostics.
+
+The paper's two headline metrics are throughput (committed transactions
+per second) and #retry (retries per 100,000 transactions; Table 2 uses a
+per-10,000 normalisation).  We additionally track the diagnostics the
+evaluation narrates: load imbalance, contended accesses (the mutrace
+#contended_mutex analog), deferment counts and scheduling accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import CYCLES_PER_SECOND
+
+
+@dataclass
+class Counters:
+    """Mutable tallies accumulated by the engine during one run."""
+
+    committed: int = 0
+    aborts: int = 0
+    deferrals: int = 0
+    defer_checks: int = 0
+    lookups: int = 0
+    #: Times an access found its record's lock word / version already
+    #: claimed by a concurrent transaction — the #contended_mutex analog.
+    contended_accesses: int = 0
+    #: Cycles spent re-executing aborted attempts (conflict penalty).
+    wasted_cycles: int = 0
+    #: Cycles spent blocked waiting on locks (pessimistic CC penalty).
+    blocked_cycles: int = 0
+
+    def merge(self, other: "Counters") -> None:
+        self.committed += other.committed
+        self.aborts += other.aborts
+        self.deferrals += other.deferrals
+        self.defer_checks += other.defer_checks
+        self.lookups += other.lookups
+        self.contended_accesses += other.contended_accesses
+        self.wasted_cycles += other.wasted_cycles
+        self.blocked_cycles += other.blocked_cycles
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing one workload bundle on the simulated engine."""
+
+    name: str
+    committed: int
+    makespan_cycles: int
+    retries: int
+    deferrals: int
+    contended_accesses: int
+    wasted_cycles: int
+    blocked_cycles: int
+    num_threads: int
+    #: Per-thread busy cycles, for load-imbalance analysis.
+    thread_busy_cycles: tuple[int, ...] = ()
+    #: Fraction of residual transactions TsPAR merged into RC-free queues
+    #: (Table 2's s%); None when no scheduling phase ran.
+    scheduled_pct: float | None = None
+    #: Retries incurred only while executing the RC-free queues (Table 2).
+    queue_retries: int | None = None
+    #: Service-latency percentiles in cycles (dispatch to completion).
+    latency_p50: int = 0
+    latency_p95: int = 0
+    latency_p99: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.committed * CYCLES_PER_SECOND / self.makespan_cycles
+
+    @property
+    def retries_per_100k(self) -> float:
+        """#retry normalised per 100,000 transactions (the paper's metric)."""
+        if self.committed == 0:
+            return 0.0
+        return self.retries * 100_000 / self.committed
+
+    @property
+    def retries_per_10k(self) -> float:
+        """#retry per 10,000 transactions (Table 2's normalisation)."""
+        return self.retries_per_100k / 10.0
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Largest over smallest per-thread busy time (Section 6.2(1a))."""
+        busy = [b for b in self.thread_busy_cycles]
+        if not busy or min(busy) <= 0:
+            return float("inf") if busy and max(busy) > 0 else 1.0
+        return max(busy) / min(busy)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.name}: {self.throughput:,.0f} txn/s",
+            f"{self.retries_per_100k:,.0f} retries/100k",
+            f"makespan {self.makespan_cycles:,} cycles",
+        ]
+        if self.scheduled_pct is not None:
+            parts.append(f"s%={self.scheduled_pct * 100:.1f}")
+        return "  ".join(parts)
+
+
+def percentile(sorted_values: list, q: float):
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def improvement_pct(ours: float, baseline: float) -> float:
+    """Percent improvement of ``ours`` over ``baseline`` (131 -> '131%')."""
+    if baseline <= 0:
+        return float("inf") if ours > 0 else 0.0
+    return (ours / baseline - 1.0) * 100.0
+
+
+def reduction_pct(ours: float, baseline: float) -> float:
+    """Percent reduction of ``ours`` relative to ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return (1.0 - ours / baseline) * 100.0

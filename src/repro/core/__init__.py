@@ -1,0 +1,42 @@
+"""TSKD core: runtime conflicts, TSgen scheduling, TsPAR, TsDEFER."""
+
+from .autotune import DEFAULT_GRID, TuningReport, TuningTrial, tune_tsdefer
+from .dependencies import (
+    DependencySet,
+    check_schedule_dependencies,
+    topological_order,
+)
+from .enforced import ScheduleEnforcer, cross_queue_predecessors
+from .progress_table import ProgressTable
+from .runtime_conflict import ck_rcf, intervals_overlap
+from .schedule import Interval, Schedule
+from .tsdefer import TsDefer, TsDeferStats
+from .tsgen import RESIDUAL_ORDERS, tsgen, tsgen_from_scratch
+from .tskd import TSKD, ExecutionPlan, tskd_disabled_variant
+from .tspar import TsPar
+
+__all__ = [
+    "DEFAULT_GRID",
+    "RESIDUAL_ORDERS",
+    "DependencySet",
+    "TuningReport",
+    "TuningTrial",
+    "tune_tsdefer",
+    "ExecutionPlan",
+    "check_schedule_dependencies",
+    "topological_order",
+    "Interval",
+    "ProgressTable",
+    "Schedule",
+    "ScheduleEnforcer",
+    "TSKD",
+    "cross_queue_predecessors",
+    "TsDefer",
+    "TsDeferStats",
+    "TsPar",
+    "ck_rcf",
+    "intervals_overlap",
+    "tsgen",
+    "tsgen_from_scratch",
+    "tskd_disabled_variant",
+]

@@ -1,0 +1,143 @@
+"""Application-specified transaction dependencies (Section 3, Limitation 2).
+
+The paper notes that, unlike CC-based execution, "transaction partitioners
+and TsPAR can readily incorporate transaction dependencies by enforcing
+dependencies in partitions and during scheduling".  This module provides
+the dependency structure and the ordering utilities TSgen uses to honour
+it:
+
+* a dependency ``a -> b`` means a must complete before b starts;
+* within a queue, a is ordered before b (serial execution enforces it);
+* across queues, b's scheduled start must not precede a's scheduled end
+  (enforced on the schedule; like RC-freedom, it holds at runtime to the
+  accuracy of the cost estimates);
+* a transaction whose predecessor stays unscheduled must itself stay in
+  the residual, where topological buffer ordering preserves the chain.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Iterable, Mapping, Sequence
+
+from ..common.errors import SchedulingError
+from ..txn.transaction import Transaction
+
+
+class DependencySet:
+    """A DAG of 'must happen before' constraints between transactions."""
+
+    def __init__(self, edges: Iterable[tuple[int, int]] = ()):
+        self._preds: dict[int, set[int]] = defaultdict(set)
+        self._succs: dict[int, set[int]] = defaultdict(set)
+        for before, after in edges:
+            self.add(before, after)
+
+    def add(self, before: int, after: int) -> None:
+        """Require transaction ``before`` to complete before ``after`` starts."""
+        if before == after:
+            raise SchedulingError(f"transaction {before} cannot depend on itself")
+        self._preds[after].add(before)
+        self._succs[before].add(after)
+        if self._reachable(after, before):
+            self._preds[after].discard(before)
+            self._succs[before].discard(after)
+            raise SchedulingError(
+                f"dependency {before}->{after} would create a cycle"
+            )
+
+    def _reachable(self, src: int, dst: int) -> bool:
+        seen = {src}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            if node == dst:
+                return True
+            for nxt in self._succs.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def preds(self, tid: int) -> frozenset[int]:
+        return frozenset(self._preds.get(tid, ()))
+
+    def succs(self, tid: int) -> frozenset[int]:
+        return frozenset(self._succs.get(tid, ()))
+
+    def __bool__(self) -> bool:
+        return any(self._preds.values())
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._preds.values())
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for after, preds in self._preds.items():
+            for before in preds:
+                yield (before, after)
+
+
+def topological_order(
+    txns: Sequence[Transaction], deps: DependencySet
+) -> list[Transaction]:
+    """Stable topological sort: input order preserved where deps allow.
+
+    Only constraints between transactions *in the list* apply.  Raises
+    SchedulingError on a cycle (DependencySet.add should have prevented
+    any, so this is a defensive check for hand-built inputs).
+    """
+    position = {t.tid: i for i, t in enumerate(txns)}
+    indeg: dict[int, int] = {t.tid: 0 for t in txns}
+    for t in txns:
+        for p in deps.preds(t.tid):
+            if p in position:
+                indeg[t.tid] += 1
+
+    import heapq
+
+    ready = [position[t.tid] for t in txns if indeg[t.tid] == 0]
+    heapq.heapify(ready)
+    by_pos = {position[t.tid]: t for t in txns}
+    out: list[Transaction] = []
+    while ready:
+        t = by_pos[heapq.heappop(ready)]
+        out.append(t)
+        for s in deps.succs(t.tid):
+            if s in indeg:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(ready, position[s])
+    if len(out) != len(txns):
+        raise SchedulingError("dependency cycle among transactions")
+    return out
+
+
+def check_schedule_dependencies(schedule, deps: DependencySet) -> list[str]:
+    """Violations of ``deps`` in a schedule; empty list means it is honoured."""
+    problems: list[str] = []
+    order_in_queue = {
+        t.tid: i for q in schedule.queues for i, t in enumerate(q)
+    }
+    for before, after in deps.edges():
+        qb = schedule.queue_of.get(before)
+        qa = schedule.queue_of.get(after)
+        if qa is None:
+            continue  # 'after' is residual: runs after all queues anyway
+        if qb is None:
+            problems.append(
+                f"T{after} scheduled but its predecessor T{before} is residual"
+            )
+            continue
+        if qb == qa:
+            if order_in_queue[before] > order_in_queue[after]:
+                problems.append(
+                    f"T{before} ordered after T{after} in queue {qa}"
+                )
+        else:
+            if schedule.intervals[before].end > schedule.intervals[after].start:
+                problems.append(
+                    f"T{before}@Q{qb} ends at {schedule.intervals[before].end} "
+                    f"after T{after}@Q{qa} starts at "
+                    f"{schedule.intervals[after].start}"
+                )
+    return problems

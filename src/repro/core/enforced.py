@@ -1,0 +1,100 @@
+"""Enforced CC-free execution of RC-free queues (Section 6.1's footnote).
+
+The paper's evaluated configuration runs the scheduled queues *with* CC
+as a safety net.  It notes the alternative: "one can retain the lower
+cost of CC-free execution of the RC-free queues by enforcing the
+scheduled order via, e.g., dependency tracking [35, 36]".  This module
+implements that QueCC/Caracal-style mode:
+
+* from a schedule and its conflict graph, compute each scheduled
+  transaction's *cross-queue conflicting predecessors* — the conflicting
+  transactions scheduled to complete before it starts;
+* at execution time, a dispatch gate parks a thread whose next
+  transaction still has uncommitted predecessors, waking it when the
+  last one commits.
+
+Safety: ckRCF guarantees conflicting scheduled transactions never have
+overlapping intervals, so for any conflicting pair one strictly precedes
+the other and is gated on; hence no two conflicting transactions are
+ever in flight together, and no CC is needed (pair with the "none"
+protocol and zero CC overheads).  The gate order follows scheduled start
+times, so it is acyclic and deadlock-free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Optional
+
+from ..txn.conflict_graph import ConflictGraph
+from ..txn.transaction import Transaction
+from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import MulticoreEngine
+
+
+def cross_queue_predecessors(
+    schedule: Schedule, graph: ConflictGraph
+) -> dict[int, set[int]]:
+    """tid -> conflicting tids in *other* queues scheduled to finish first."""
+    preds: dict[int, set[int]] = defaultdict(set)
+    for i, queue in enumerate(schedule.queues):
+        for t in queue:
+            mine = schedule.intervals[t.tid]
+            for other in graph.neighbors(t.tid):
+                j = schedule.queue_of.get(other)
+                if j is None or j == i:
+                    continue
+                theirs = schedule.intervals[other]
+                if theirs.end <= mine.start:
+                    preds[t.tid].add(other)
+    return dict(preds)
+
+
+class ScheduleEnforcer:
+    """DispatchGate + ProgressHooks upholding a schedule's order."""
+
+    def __init__(self, schedule: Schedule, graph: ConflictGraph):
+        self._pending: dict[int, set[int]] = {
+            tid: set(preds)
+            for tid, preds in cross_queue_predecessors(schedule, graph).items()
+        }
+        #: committed tid -> scheduled tids waiting on it.
+        self._waiters_of: dict[int, set[int]] = defaultdict(set)
+        for tid, preds in self._pending.items():
+            for p in preds:
+                self._waiters_of[p].add(tid)
+        self._parked: dict[int, int] = {}  # gated tid -> thread id
+        self._engine: Optional["MulticoreEngine"] = None
+        #: Cycles spent gated, for accounting in experiments.
+        self.gated_cycles = 0
+        self._gate_since: dict[int, int] = {}
+
+    def bind(self, engine: "MulticoreEngine") -> None:
+        self._engine = engine
+
+    # -- DispatchGate ----------------------------------------------------
+    def ready(self, txn: Transaction) -> bool:
+        return not self._pending.get(txn.tid)
+
+    def block(self, thread_id: int, txn: Transaction) -> None:
+        self._parked[txn.tid] = thread_id
+        if self._engine is not None:
+            self._gate_since[txn.tid] = self._engine._now
+
+    # -- ProgressHooks -----------------------------------------------------
+    def on_dispatch(self, thread_id: int, txn: Transaction, now: int) -> None:
+        pass
+
+    def on_commit(self, thread_id: int, txn: Transaction, now: int) -> None:
+        for waiter in self._waiters_of.pop(txn.tid, ()):
+            pending = self._pending.get(waiter)
+            if pending is None:
+                continue
+            pending.discard(txn.tid)
+            if not pending:
+                parked_thread = self._parked.pop(waiter, None)
+                if parked_thread is not None and self._engine is not None:
+                    self.gated_cycles += now - self._gate_since.pop(waiter, now)
+                    self._engine.wake_gated(parked_thread, now)

@@ -1,0 +1,154 @@
+"""Runtime progress tracking — the lock-free structure of Section 5.
+
+The real TSKD keeps, per thread, an array of transaction IDs plus
+``headp``/``tailp`` pointers maintained with C++ atomic builtins; each
+slot is written only by its own thread and read by everyone (single
+writer, many readers), so readers may observe *slightly stale* progress.
+In the simulated engine all metadata updates are already atomic on the
+virtual clock, so what this class reproduces is the structure's
+*observable contract*:
+
+* ``regPos`` / dispatch maintenance — which transaction each thread is
+  currently executing (``headp``) and which it ran previously;
+* ``lookup`` — constant-cost random probes into the *predicted write
+  sets* of active transactions at other threads, sampled without
+  replacement across the (thread, index) space via the same
+  reservoir-style draw the paper describes;
+* staleness — with probability ``stale_prob`` a probe observes the
+  thread's *previous* headp instead of the current one;
+* inaccurate access sets — only an ``accuracy`` fraction of each
+  transaction's true write set is visible (the Fig 5h knob), since
+  predicted access sets "do not have to be exact".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..common.rng import Rng
+from ..txn.operation import Key
+from ..txn.transaction import Transaction
+
+
+class ProgressTable:
+    """Per-thread active-transaction slots with probing support."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        rng: Rng,
+        stale_prob: float = 0.0,
+        accuracy: float = 1.0,
+        buffer_reader=None,
+    ):
+        self.num_threads = num_threads
+        self._rng = rng
+        self._stale_prob = stale_prob
+        self._accuracy = accuracy
+        self._current: list[Optional[Transaction]] = [None] * num_threads
+        self._previous: list[Optional[Transaction]] = [None] * num_threads
+        #: Predicted (visible) write set per tid, materialised once.
+        self._visible: dict[int, list[Key]] = {}
+        #: Optional callable thread_id -> upcoming transactions (queue
+        #: beyond headp), enabling bounded future probing.
+        self._buffer_reader = buffer_reader
+
+    def bind_buffers(self, buffer_reader) -> None:
+        """Wire the engine's per-thread buffer view for future probing."""
+        self._buffer_reader = buffer_reader
+
+    # -- maintenance (single writer per slot in the real structure) -----
+    def on_dispatch(self, thread_id: int, txn: Transaction, now: int = 0) -> None:
+        """headp advanced to ``txn``: it is now active at ``thread_id``."""
+        self._previous[thread_id] = self._current[thread_id]
+        self._current[thread_id] = txn
+
+    def on_commit(self, thread_id: int, txn: Transaction, now: int = 0) -> None:
+        """regPos: the active transaction committed."""
+        self._previous[thread_id] = txn
+        self._current[thread_id] = None
+
+    def active(self, thread_id: int) -> Optional[Transaction]:
+        return self._current[thread_id]
+
+    # -- probing ---------------------------------------------------------
+    def visible_write_set(self, txn: Transaction) -> list[Key]:
+        """The predicted write set a probe can see (accuracy-truncated)."""
+        got = self._visible.get(txn.tid)
+        if got is None:
+            items = sorted(txn.write_set, key=repr)
+            if self._accuracy < 1.0 and items:
+                keep = math.ceil(len(items) * self._accuracy)
+                # Deterministic per-transaction subset: a fresh stream
+                # seeded by tid, so repeated probes agree.
+                sub = Rng(txn.tid * 2654435761 % (2**31))
+                items = sub.sample(items, keep)
+            self._visible[txn.tid] = items
+            got = items
+        return got
+
+    def _observed_txns(self, j: int, future_depth: int) -> list[Transaction]:
+        """Transactions of thread j a probe may observe (headp onward)."""
+        txn = self._current[j]
+        if txn is not None and self._rng.chance(self._stale_prob):
+            txn = self._previous[j]
+        elif txn is None and self._rng.chance(self._stale_prob):
+            txn = self._previous[j]
+        observed = [] if txn is None else [txn]
+        if future_depth > 1 and self._buffer_reader is not None:
+            upcoming = self._buffer_reader(j)
+            for nxt in list(upcoming)[: future_depth - 1]:
+                observed.append(nxt)
+        return observed
+
+    def probe(
+        self,
+        requester: int,
+        num_lookups: int,
+        scope: str = "global",
+        future_depth: int = 1,
+    ) -> list[Key]:
+        """Perform lookup operations for a thread; returns probed items.
+
+        ``scope="global"`` issues ``num_lookups`` probes total, sampled
+        without replacement across the (thread, index) space — the literal
+        Section 5 procedure.  ``scope="per_thread"`` issues up to
+        ``num_lookups`` probes against each remote thread's observed
+        transactions.  ``future_depth`` extends each observation window
+        past headp into the remote queue (bounded future probing).
+
+        Items come from *predicted write sets*, so staleness and
+        access-set inaccuracy apply in both scopes.
+        """
+        # One probe space per remote thread: the concatenated visible
+        # write sets of its observed transactions (headp plus bounded
+        # future), so the probe budget does not grow with future_depth.
+        spaces: list[list[Key]] = []
+        for j in range(self.num_threads):
+            if j == requester:
+                continue
+            space: list[Key] = []
+            for txn in self._observed_txns(j, future_depth):
+                space.extend(self.visible_write_set(txn))
+            if space:
+                spaces.append(space)
+        if not spaces:
+            return []
+
+        items: list[Key] = []
+        if scope == "per_thread":
+            for space in spaces:
+                for idx in self._rng.sample(range(len(space)), min(num_lookups, len(space))):
+                    items.append(space[idx])
+            return items
+
+        total = sum(len(s) for s in spaces)
+        picks = self._rng.sample(range(total), min(num_lookups, total))
+        for linear in picks:
+            for space in spaces:
+                if linear < len(space):
+                    items.append(space[linear])
+                    break
+                linear -= len(space)
+        return items

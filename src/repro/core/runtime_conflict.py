@@ -1,0 +1,50 @@
+"""Runtime-conflict primitives (Section 2.2).
+
+``ts(T)`` is the sum of the scheduled times of T's predecessors in its
+queue; ``tc(T) = ts(T) + time(T)``.  T and T' are in conflict *at
+runtime* iff they are conventionally in conflict and their scheduled
+runtimes overlap.  ``ckRCF`` — the procedure Algorithm 1 leaves abstract —
+checks whether appending a transaction at a candidate interval keeps the
+queues RC-free, by scanning only the candidate's conflict-graph
+neighbours that are already scheduled elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from ..txn.conflict_graph import ConflictGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .schedule import Interval
+
+
+def intervals_overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    """Half-open interval overlap: [a_start, a_end) vs [b_start, b_end)."""
+    return a_start < b_end and b_start < a_end
+
+
+def ck_rcf(
+    tid: int,
+    candidate_start: int,
+    candidate_end: int,
+    target_queue: int,
+    graph: ConflictGraph,
+    intervals: Mapping[int, "Interval"],
+    queue_of: Mapping[int, int],
+) -> bool:
+    """Would appending ``tid`` at the candidate interval stay RC-free?
+
+    True iff no already-scheduled conflicting transaction in a *different*
+    queue has an overlapping scheduled runtime.  Same-queue conflicts are
+    harmless: queue execution is serial.  Cost is O(degree of tid) with
+    O(1) per neighbour.
+    """
+    for other in graph.neighbors(tid):
+        j = queue_of.get(other)
+        if j is None or j == target_queue:
+            continue
+        iv = intervals[other]
+        if intervals_overlap(candidate_start, candidate_end, iv.start, iv.end):
+            return False
+    return True

@@ -1,0 +1,114 @@
+"""Transaction schedules and runtime conflicts (Section 2.2).
+
+A schedule ``(f, ≺)`` is represented as k *ordered* queues plus the
+unscheduled residual, together with each scheduled transaction's
+``[ts(T), tc(T))`` interval under the cost model used for scheduling.
+Two transactions are in conflict *at runtime* iff they are conventionally
+in conflict **and** their scheduled runtimes overlap; a valid schedule has
+no runtime conflicts between different queues — checked by
+:meth:`Schedule.assert_rc_free`, which tests and hypothesis properties
+lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..common.errors import SchedulingError
+from ..txn.conflict_graph import ConflictGraph
+from ..txn.transaction import Transaction
+from .runtime_conflict import intervals_overlap
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Scheduled runtime [start, end) of one transaction, in cost units."""
+
+    start: int
+    end: int
+
+    def overlaps(self, other: "Interval") -> bool:
+        return intervals_overlap(self.start, self.end, other.start, other.end)
+
+
+@dataclass
+class Schedule:
+    """k RC-free queues, a residual set, and the scheduling bookkeeping."""
+
+    queues: list[list[Transaction]]
+    residual: list[Transaction] = field(default_factory=list)
+    intervals: dict[int, Interval] = field(default_factory=dict)
+    #: tid -> queue index for every scheduled transaction.
+    queue_of: dict[int, int] = field(default_factory=dict)
+    #: How many of the input plan's residual transactions were merged into
+    #: RC-free queues (numerator of Table 2's s%).
+    merged_residual: int = 0
+    #: Size of the input plan's residual (denominator of s%).
+    input_residual: int = 0
+
+    @property
+    def k(self) -> int:
+        return len(self.queues)
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues) + len(self.residual)
+
+    @property
+    def scheduled_pct(self) -> float:
+        """Fraction of input residual transactions scheduled (Table 2 s%)."""
+        if self.input_residual == 0:
+            return 1.0
+        return self.merged_residual / self.input_residual
+
+    def makespan(self) -> int:
+        """Scheduled makespan of the queues: max queue completion time."""
+        ends = [self.intervals[q[-1].tid].end for q in self.queues if q]
+        return max(ends) if ends else 0
+
+    def queue_loads(self) -> list[int]:
+        return [self.intervals[q[-1].tid].end if q else 0 for q in self.queues]
+
+    def refines(self, parts: Sequence[Sequence[Transaction]]) -> bool:
+        """True when partition P_i is a subset of queue Q_i for all i."""
+        if len(parts) != self.k:
+            return False
+        for i, part in enumerate(parts):
+            tids = {t.tid for t in self.queues[i]}
+            if any(t.tid not in tids for t in part):
+                return False
+        return True
+
+    def assert_rc_free(self, graph: ConflictGraph) -> None:
+        """Verify no runtime conflicts across queues (the core invariant).
+
+        O(sum over scheduled txns of conflict degree); meant for tests and
+        debugging, not the hot path.
+        """
+        for i, queue in enumerate(self.queues):
+            for t in queue:
+                mine = self.intervals[t.tid]
+                for other in graph.neighbors(t.tid):
+                    j = self.queue_of.get(other)
+                    if j is None or j == i:
+                        continue
+                    theirs = self.intervals[other]
+                    if mine.overlaps(theirs):
+                        raise SchedulingError(
+                            f"runtime conflict: T{t.tid}@Q{i}{(mine.start, mine.end)} "
+                            f"overlaps T{other}@Q{j}{(theirs.start, theirs.end)}"
+                        )
+
+    def validate_total_order(self) -> None:
+        """Each queue's intervals must be consecutive and non-overlapping."""
+        for i, queue in enumerate(self.queues):
+            clock = None
+            for t in queue:
+                iv = self.intervals.get(t.tid)
+                if iv is None:
+                    raise SchedulingError(f"T{t.tid} in Q{i} has no interval")
+                if clock is not None and iv.start < clock:
+                    raise SchedulingError(
+                        f"Q{i} interval regression at T{t.tid}: {iv.start} < {clock}"
+                    )
+                clock = iv.end

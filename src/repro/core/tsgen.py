@@ -1,0 +1,306 @@
+"""TSgen — Algorithm 1 of the paper.
+
+Given a workload and a partition plan ``(P1..Pk, R)`` whose CC-free
+partitions are *mutually conflict-free* (Strife output is; Schism /
+Horticulture output is after :func:`repro.partition.extract_residual`),
+TSgen refines the plan into a schedule:
+
+* residual transactions are examined one at a time (random order by
+  default); each is tentatively appended to the currently least-loaded
+  queue;
+* first, every partition transaction conflicting with the candidate is
+  promoted from its partition into its own queue (lines 7-9), pinning its
+  scheduled interval;
+* ``ckRCF`` then checks the candidate's interval against conflicting
+  transactions already scheduled in other queues; on success the
+  candidate joins the queue, otherwise it stays residual (lines 10-12);
+* leftover partition transactions are appended to their queues at the end
+  (lines 13-14).
+
+Called with empty partitions and the whole workload as residual, the same
+code computes a schedule from scratch (the paper's TSKD[0] mode).
+
+The RC-freedom argument (why checking only the candidate suffices): a
+promoted partition transaction can only conflict with (a) same-partition
+transactions — same queue, serial, harmless; (b) residual transactions —
+each of those was or will be ckRCF-checked against it; (c) other
+partitions' transactions — excluded by the mutual-conflict-freedom
+precondition.  ``Schedule.assert_rc_free`` re-verifies the invariant in
+tests and property-based checks.
+
+Complexity: each partition transaction is appended exactly once, and each
+residual transaction costs O(its conflict degree) via the re-used
+conflict graph — linear in |W| for bounded degree, matching Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..common.errors import SchedulingError
+from ..common.rng import Rng
+from ..partition.base import PartitionPlan
+from ..txn.conflict_graph import ConflictGraph
+from ..txn.cost import CostModel
+from ..txn.transaction import Transaction
+from ..txn.workload import Workload
+from .runtime_conflict import ck_rcf
+from .schedule import Interval, Schedule
+
+#: Residual orderings tsgen understands.
+RESIDUAL_ORDERS = ("random", "given", "degree", "cost")
+
+
+def tsgen(
+    workload: Workload,
+    plan: PartitionPlan,
+    cost: CostModel,
+    graph: Optional[ConflictGraph] = None,
+    rng: Optional[Rng] = None,
+    residual_order: str = "random",
+    check: bool = False,
+    slack: float = 0.05,
+    fallback_queues: int | None = None,
+    balance_cap: float = 1.10,
+    dependencies: "DependencySet | None" = None,
+) -> Schedule:
+    """Refine ``plan`` into a transaction schedule for ``workload``.
+
+    ``residual_order`` picks the examination order R-vec of the residual:
+    ``random`` (the paper's default), ``given`` (input order), ``degree``
+    (ascending conflict degree) or ``cost`` (descending estimated time).
+    ``check=True`` re-validates the RC-freedom invariant on the result.
+    ``slack`` inflates the candidate's interval during ckRCF by that
+    fraction on each side, tolerating estimate drift at execution time
+    (estimates are coarse; Section 3).  RC-freedom is judged — and
+    verified — on the uninflated intervals.
+
+    ``fallback_queues`` extends line 6 of Algorithm 1: when ckRCF rejects
+    the least-loaded queue, up to that many further queues are tried in
+    ascending-load order before the candidate is declared residual.  The
+    queue already holding the candidate's conflicts always passes ckRCF
+    (same-queue conflicts are serialised), so the fallback both raises
+    the scheduled percentage and naturally serialises hot transactions.
+    ``None`` (default) tries all k queues; ``0`` is the literal
+    Algorithm 1.  Worst-case cost grows from O(k + deg) to O(k·deg) per
+    residual transaction.
+
+    ``balance_cap`` enforces objective (a), the makespan: no queue may
+    grow beyond ``balance_cap`` times the ideal per-thread load; hot
+    overflow stays residual rather than serialising one queue far past
+    the others.
+
+    ``dependencies`` (application-specified ordering, Section 3
+    Limitation 2): a residual transaction is only placed once all its
+    predecessors are scheduled, at a start no earlier than their ends;
+    its pending partition predecessors are promoted first.  Full
+    enforcement for *every* transaction is guaranteed in from-scratch
+    mode (empty partitions), where each transaction passes through the
+    placement check; with a partition plan, cross-partition dependencies
+    among partition members are best-effort (the paper assigns those to
+    the partitioner) — ``check=True`` verifies the result either way.
+    """
+    if residual_order not in RESIDUAL_ORDERS:
+        raise SchedulingError(f"unknown residual order {residual_order!r}")
+    rng = rng or Rng(0)
+    graph = graph or workload.conflict_graph()
+    k = plan.k
+
+    queues: list[list[Transaction]] = [[] for _ in range(k)]
+    intervals: dict[int, Interval] = {}
+    queue_of: dict[int, int] = {}
+    residual_s: list[Transaction] = []
+
+    # Remaining (unpromoted) partition members, per partition.
+    pending: list[dict[int, Transaction]] = [
+        {t.tid: t for t in part} for part in plan.parts
+    ]
+    in_part: dict[int, int] = {}
+    for i, part in enumerate(plan.parts):
+        for t in part:
+            in_part[t.tid] = i
+
+    times: dict[int, int] = {}
+
+    def time_of(t: Transaction) -> int:
+        got = times.get(t.tid)
+        if got is None:
+            got = max(1, cost.time(t))
+            times[t.tid] = got
+        return got
+
+    # len_i: queue load including not-yet-promoted partition members
+    # (line 2 initialises with the full partition times); sched_len_i:
+    # completion time of what is actually in Q_i so far, which determines
+    # appended intervals.
+    len_ = [sum(time_of(t) for t in part) for part in plan.parts]
+    sched_len = [0] * k
+
+    def append(queue_idx: int, t: Transaction) -> None:
+        start = sched_len[queue_idx]
+        end = start + time_of(t)
+        queues[queue_idx].append(t)
+        intervals[t.tid] = Interval(start, end)
+        queue_of[t.tid] = queue_idx
+        sched_len[queue_idx] = end
+
+    r_vec = _order_residual(plan.residual, residual_order, rng, graph, time_of)
+    if dependencies is not None and dependencies:
+        from .dependencies import topological_order
+
+        r_vec = topological_order(r_vec, dependencies)
+
+    def promote_pending_preds(tid: int) -> None:
+        """Append tid's still-pending predecessors to their queues, in
+        dependency order, so their intervals exist before tid is placed."""
+        for p in sorted(dependencies.preds(tid)):
+            if p in in_part:
+                promote_pending_preds(p)
+                i = in_part.pop(p, None)
+                if i is not None:
+                    append(i, pending[i].pop(p))
+
+    def earliest_start(tid: int) -> int | None:
+        """Lower bound from predecessors, or None if one is unscheduled."""
+        earliest = 0
+        for p in dependencies.preds(tid):
+            iv = intervals.get(p)
+            if iv is not None:
+                earliest = max(earliest, iv.end)
+            elif p in workload:
+                return None  # predecessor unscheduled: stay residual
+        return earliest
+
+    tries = k if fallback_queues is None else min(k, 1 + fallback_queues)
+    ideal = (sum(len_) + sum(time_of(t) for t in r_vec)) / max(1, k)
+    cap = balance_cap * ideal
+
+    for t_star in r_vec:
+        # Lines 7-9 fused with the neighbour-interval gather below: one
+        # pass over the conflict-graph neighbourhood both promotes
+        # conflicting partition members into their queues and collects
+        # the scheduled intervals ckRCF will test against.
+        neigh_by_queue: dict[int, list[tuple[int, int]]] = {}
+        for other in graph.neighbors(t_star.tid):
+            i = in_part.pop(other, None)
+            if i is not None:
+                append(i, pending[i].pop(other))
+                j = i
+            else:
+                j = queue_of.get(other)
+                if j is None:
+                    continue
+            iv = intervals[other]
+            neigh_by_queue.setdefault(j, []).append((iv.end, iv.start))
+        for lst in neigh_by_queue.values():
+            lst.sort(reverse=True)
+        # Application-specified ordering: predecessors first.
+        floor = 0
+        if dependencies is not None and dependencies:
+            promote_pending_preds(t_star.tid)
+            bound = earliest_start(t_star.tid)
+            if bound is None:
+                residual_s.append(t_star)
+                continue
+            floor = bound
+        # Lines 6 & 10: candidate queues in ascending-load order, ckRCF
+        # with a drift guard band proportional to the candidate's length.
+        # Neighbour intervals are sorted by descending end: candidate
+        # windows sit at queue tails, so scanning stops at the first
+        # neighbour that ends before the window opens.
+        duration = time_of(t_star)
+        pad = int(slack * duration)
+        placed = False
+        by_load = sorted(range(k), key=len_.__getitem__)
+        for l in by_load[:tries]:
+            if len_[l] + duration > cap:
+                continue  # would stretch the makespan: leave for residual
+            start = sched_len[l]
+            if start < floor:
+                continue  # would start before a predecessor completes
+            window_lo = start - pad
+            window_hi = start + duration + pad
+            ok = True
+            for j, lst in neigh_by_queue.items():
+                if j == l:
+                    continue  # same queue: serial, never a runtime conflict
+                for end2, start2 in lst:
+                    if end2 <= window_lo:
+                        break  # all remaining neighbours end even earlier
+                    if start2 < window_hi:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                append(l, t_star)
+                len_[l] += duration
+                placed = True
+                break
+        if not placed:
+            residual_s.append(t_star)
+
+    # Lines 13-14: flush remaining partition members in partition order.
+    for i, part in enumerate(plan.parts):
+        for t in part:
+            if t.tid in pending[i]:
+                append(i, t)
+
+    schedule = Schedule(
+        queues=queues,
+        residual=residual_s,
+        intervals=intervals,
+        queue_of=queue_of,
+        merged_residual=len(plan.residual) - len(residual_s),
+        input_residual=len(plan.residual),
+    )
+    if check:
+        schedule.validate_total_order()
+        schedule.assert_rc_free(graph)
+        if dependencies is not None and dependencies:
+            from .dependencies import check_schedule_dependencies
+
+            problems = check_schedule_dependencies(schedule, dependencies)
+            if problems:
+                raise SchedulingError("; ".join(problems[:3]))
+    return schedule
+
+
+def tsgen_from_scratch(
+    workload: Workload,
+    k: int,
+    cost: CostModel,
+    graph: Optional[ConflictGraph] = None,
+    rng: Optional[Rng] = None,
+    residual_order: str = "random",
+    check: bool = False,
+    dependencies: "DependencySet | None" = None,
+) -> Schedule:
+    """Compute a schedule with no input partitioning (TSKD[0] mode).
+
+    The whole workload is treated as the residual against k empty CC-free
+    partitions, exactly as Section 4 describes.  This is also the mode in
+    which application-specified ``dependencies`` are fully enforced: every
+    transaction passes through the dependency-aware placement check.
+    """
+    plan = PartitionPlan(parts=[[] for _ in range(k)], residual=list(workload))
+    return tsgen(workload, plan, cost, graph=graph, rng=rng,
+                 residual_order=residual_order, check=check,
+                 dependencies=dependencies)
+
+
+def _order_residual(
+    residual: Sequence[Transaction],
+    order: str,
+    rng: Rng,
+    graph: ConflictGraph,
+    time_of,
+) -> list[Transaction]:
+    r_vec = list(residual)
+    if order == "random":
+        rng.shuffle(r_vec)
+    elif order == "degree":
+        r_vec.sort(key=lambda t: graph.degree(t.tid))
+    elif order == "cost":
+        r_vec.sort(key=lambda t: -time_of(t))
+    return r_vec

@@ -1,0 +1,40 @@
+"""Transaction partitioners and lightweight assigners."""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from .assigners import least_loaded, random_assign, round_robin
+from .base import PartitionPlan, Partitioner, extract_residual
+from .horticulture import HorticulturePartitioner
+from .schism import SchismPartitioner
+from .strife import StrifePartitioner
+
+#: Registry keyed by the names the paper's TSKD instances use.
+PARTITIONERS: dict[str, type] = {
+    "strife": StrifePartitioner,
+    "schism": SchismPartitioner,
+    "horticulture": HorticulturePartitioner,
+}
+
+
+def make_partitioner(name: str, **kw) -> Partitioner:
+    """Instantiate a partitioner by registry name (case-insensitive)."""
+    cls = PARTITIONERS.get(name.lower())
+    if cls is None:
+        raise ConfigError(f"unknown partitioner {name!r}; known: {sorted(PARTITIONERS)}")
+    return cls(**kw)
+
+
+__all__ = [
+    "PARTITIONERS",
+    "HorticulturePartitioner",
+    "PartitionPlan",
+    "Partitioner",
+    "SchismPartitioner",
+    "StrifePartitioner",
+    "extract_residual",
+    "least_loaded",
+    "make_partitioner",
+    "random_assign",
+    "round_robin",
+]

@@ -1,0 +1,43 @@
+"""Lightweight transaction-to-thread assignment for unbundled streams.
+
+These are the non-analysing assigners of Section 2.1: unbundled
+transactions are "periodically flushed to the thread-local buffers via
+much lighter methods than transaction partitioning, e.g. round-robin,
+random" — the paths DBCC and TSKD[CC] run on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..common.rng import Rng
+from ..txn.transaction import Transaction
+from ..txn.workload import split_round_robin
+
+
+def round_robin(txns: Sequence[Transaction], k: int) -> list[list[Transaction]]:
+    """Deal transactions to k buffers in arrival order."""
+    return split_round_robin(txns, k)
+
+
+def random_assign(txns: Sequence[Transaction], k: int, rng: Rng) -> list[list[Transaction]]:
+    """Assign each transaction to a uniformly random buffer."""
+    buffers: list[list[Transaction]] = [[] for _ in range(k)]
+    for t in txns:
+        buffers[rng.randint(0, k - 1)].append(t)
+    return buffers
+
+
+def least_loaded(txns: Sequence[Transaction], k: int) -> list[list[Transaction]]:
+    """Greedy least-loaded assignment by operation count.
+
+    A stand-in for the lightweight learned assigner of [41]: it uses only
+    per-transaction size, no conflict analysis.
+    """
+    buffers: list[list[Transaction]] = [[] for _ in range(k)]
+    loads = [0] * k
+    for t in txns:
+        i = min(range(k), key=loads.__getitem__)
+        buffers[i].append(t)
+        loads[i] += t.num_ops
+    return buffers

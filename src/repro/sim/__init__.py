@@ -1,0 +1,43 @@
+"""Discrete-event multicore engine, histories, and warm-up dry-runs."""
+
+from .engine import (
+    MAX_RETRIES,
+    ActiveTxn,
+    CommittedRecord,
+    DispatchFilter,
+    MulticoreEngine,
+    PhaseResult,
+    ProgressHooks,
+)
+from .history import (
+    assert_serializable,
+    assert_snapshot_consistent,
+    find_cycle,
+    is_serializable,
+    serialization_graph,
+    snapshot_violations,
+)
+from .stream import OpenSystemResult, poisson_arrivals, run_open_system
+from .warmup import dry_run_cost, serial_makespan, warm_up_history
+
+__all__ = [
+    "MAX_RETRIES",
+    "ActiveTxn",
+    "CommittedRecord",
+    "DispatchFilter",
+    "MulticoreEngine",
+    "OpenSystemResult",
+    "PhaseResult",
+    "ProgressHooks",
+    "poisson_arrivals",
+    "run_open_system",
+    "assert_serializable",
+    "assert_snapshot_consistent",
+    "dry_run_cost",
+    "snapshot_violations",
+    "find_cycle",
+    "is_serializable",
+    "serial_makespan",
+    "serialization_graph",
+    "warm_up_history",
+]

@@ -1,0 +1,474 @@
+"""Discrete-event simulation of a multicore in-memory transaction engine.
+
+This module replaces the paper's real 32-vCPU DBx1000 deployment (which
+Python's GIL cannot reproduce meaningfully) with a virtual-time model that
+preserves what the paper's claims are about: operation interleavings,
+runtime-conflict windows, aborts/retries, blocking, load balance, and
+makespan.
+
+Model
+-----
+``k`` simulated threads each own a local buffer of transactions
+(Section 2.1's workload model).  A thread repeatedly: dispatches the next
+transaction (optionally filtered by TsDEFER), executes its operations one
+at a time (each costing ``op_cost + cc_op_overhead`` cycles, mediated by
+the CC protocol), waits out its runtime-skew lower bound, validates and
+installs at commit (``commit_overhead`` cycles), then serves its
+commit-time I/O stall.  An abort charges ``abort_penalty`` and retries the
+transaction from scratch immediately — DBx1000's retry loop.
+
+All threads share one virtual clock; events are totally ordered, so CC
+metadata updates are atomic exactly like the latched critical sections of
+a real engine.  Throughput is committed transactions divided by the final
+makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence
+
+from ..cc import make_protocol
+from ..cc.base import AccessStatus, CCProtocol
+from ..common.config import SimConfig
+from ..common.errors import SimulationError
+from ..common.rng import Rng
+from ..common.stats import Counters
+from ..storage.database import Database
+from ..txn.operation import Key, OpKind
+from ..txn.transaction import Transaction
+
+#: Hard cap on per-transaction retries; hitting it means the protocol
+#: livelocked, which the test suite treats as a bug.
+MAX_RETRIES = 10_000
+
+
+@dataclass
+class ActiveTxn:
+    """Mutable per-attempt execution state of the transaction a thread runs."""
+
+    txn: Transaction
+    thread_id: int
+    #: Stable timestamp for wait-die ordering: first-dispatch sequence number.
+    ts: int
+    attempt: int = 0
+    op_index: int = 0
+    attempt_start: int = 0
+    dispatched_at: int = 0
+    observed: dict[Key, int] = field(default_factory=dict)
+    write_buffer: dict[Key, object] = field(default_factory=dict)
+    held_locks: set[Key] = field(default_factory=set)
+    ctx: dict = field(default_factory=dict)
+    #: Versions observed by *reads* this attempt, for the history log.
+    reads_log: dict[Key, int] = field(default_factory=dict)
+    blocked_since: int = 0
+
+    def reset_attempt(self, now: int) -> None:
+        self.op_index = 0
+        self.attempt_start = now
+        self.observed.clear()
+        self.write_buffer.clear()
+        self.ctx.clear()
+        self.reads_log.clear()
+
+
+@dataclass(frozen=True)
+class CommittedRecord:
+    """History entry for one committed transaction (isolation oracles)."""
+
+    tid: int
+    commit_time: int
+    reads: tuple[tuple[Key, int], ...]
+    writes: tuple[tuple[Key, int], ...]
+    #: When the committing attempt began (its snapshot instant, for
+    #: multi-version protocols).
+    start_time: int = 0
+
+
+class DispatchFilter(Protocol):
+    """TsDEFER's hook: inspect the next transaction before it runs.
+
+    Returns ``(defer, cost_cycles)``; when ``defer`` is true the engine
+    moves the transaction to the back of the thread's buffer.
+    """
+
+    def filter(self, thread_id: int, txn: Transaction, now: int) -> tuple[bool, int]: ...
+
+
+class ProgressHooks(Protocol):
+    """Progress-table maintenance callbacks (regPos analog)."""
+
+    def on_dispatch(self, thread_id: int, txn: Transaction, now: int) -> None: ...
+
+    def on_commit(self, thread_id: int, txn: Transaction, now: int) -> None: ...
+
+
+class DispatchGate(Protocol):
+    """Precedence gate for enforced schedule execution.
+
+    ``ready`` is consulted before a transaction is dispatched; a blocked
+    thread parks until the gate wakes it (the gate learns about commits
+    via its ProgressHooks role and calls the engine's ``wake_gated``).
+    """
+
+    def ready(self, txn: Transaction) -> bool: ...
+
+    def block(self, thread_id: int, txn: Transaction) -> None: ...
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of one :meth:`MulticoreEngine.run` call."""
+
+    start_time: int
+    end_time: int
+    counters: Counters
+    thread_busy: tuple[int, ...]
+    #: Per-transaction service latency in cycles (dispatch to completion,
+    #: including retries and commit stalls; deferral wait is queueing
+    #: time, not service time, and is excluded).
+    latencies: tuple[int, ...] = ()
+
+    @property
+    def makespan(self) -> int:
+        return self.end_time - self.start_time
+
+
+class _Thread:
+    __slots__ = ("id", "buffer", "phase", "active", "busy", "dispatch_began")
+
+    def __init__(self, thread_id: int):
+        self.id = thread_id
+        self.buffer: deque[Transaction] = deque()
+        self.phase = "idle"
+        self.active: Optional[ActiveTxn] = None
+        self.busy = 0
+        self.dispatch_began = 0
+
+
+class MulticoreEngine:
+    """The simulated k-core transaction execution engine."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        protocol: CCProtocol | None = None,
+        db: Database | None = None,
+        dispatch_filter: Optional[DispatchFilter] = None,
+        progress_hooks: Optional[ProgressHooks] = None,
+        record_history: bool = False,
+        apply_writes: bool = True,
+        dispatch_gate: "Optional[DispatchGate]" = None,
+        versions: Optional[dict] = None,
+        history: Optional[list] = None,
+    ):
+        self.config = config
+        self.db = db if db is not None else Database()
+        self.protocol = protocol if protocol is not None else make_protocol(config.cc)
+        self.dispatch_filter = dispatch_filter
+        self.progress_hooks = progress_hooks
+        self.record_history = record_history
+        self.apply_writes = apply_writes and db is not None
+        #: Precedence gate for enforced CC-free execution (optional).
+        self.dispatch_gate = dispatch_gate
+        #: Shared committed-version store (one word per key); pass an
+        #: existing dict to continue another engine's version lineage
+        #: (e.g. an enforced queue phase followed by a CC residual phase).
+        self.versions: dict[Key, int] = versions if versions is not None else {}
+        #: Committed-transaction log; pass a list to share it across the
+        #: engines of a multi-engine execution.
+        self.history: list[CommittedRecord] = history if history is not None else []
+        self.protocol.bind(self)
+
+        self._threads = [_Thread(i) for i in range(config.num_threads)]
+        #: Jitter source for abort backoff: two transactions that abort
+        #: each other in lockstep would otherwise retry in lockstep
+        #: forever (deterministic symmetric livelock, which real engines
+        #: break with randomised backoff).
+        self._rng = Rng(config.seed * 61 + 29)
+        self._events: list[tuple[int, int, int]] = []
+        self._seq = 0
+        self._txn_seq = 0
+        self._now = 0
+        self._counters = Counters()
+        self._latencies: list[int] = []
+        self._arrival_payload: dict[int, tuple[int, Transaction]] = {}
+        self._arrived_at: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def num_threads(self) -> int:
+        return self.config.num_threads
+
+    def active_txn(self, thread_id: int) -> Optional[ActiveTxn]:
+        """The transaction thread ``thread_id`` is currently executing."""
+        return self._threads[thread_id].active
+
+    def buffer_of(self, thread_id: int) -> deque:
+        return self._threads[thread_id].buffer
+
+    def wake_thread(self, thread_id: int, now: int) -> None:
+        """Resume a lock-blocked thread (called by pessimistic protocols)."""
+        thread = self._threads[thread_id]
+        if thread.phase != "blocked":
+            return
+        self._counters.blocked_cycles += now - thread.active.blocked_since
+        thread.phase = "op"
+        self._schedule(now, thread_id)
+
+    def run(
+        self,
+        buffers: Sequence[Iterable[Transaction]],
+        start_time: int = 0,
+        arrivals: Sequence[tuple[int, int, Transaction]] = (),
+    ) -> PhaseResult:
+        """Execute one phase: per-thread buffers to completion.
+
+        ``buffers`` must have exactly ``num_threads`` entries (empty ones
+        are fine).  ``arrivals`` optionally injects transactions over
+        time — ``(time, thread_id, txn)`` tuples appended to the thread's
+        buffer when the virtual clock reaches ``time`` (the open-system
+        mode; see :mod:`repro.sim.stream`).  Latency for arriving
+        transactions is measured from their arrival instant, so it
+        includes queueing delay.
+
+        Returns the phase's makespan and counters; engine state (storage,
+        versions, CC words, history) persists across phases so a TsPAR
+        queue phase can be followed by a residual phase.
+        """
+        if len(buffers) != self.num_threads:
+            raise SimulationError(
+                f"expected {self.num_threads} buffers, got {len(buffers)}"
+            )
+        self._now = start_time
+        self._counters = Counters()
+        self._latencies: list[int] = []
+        self._arrival_payload: dict[int, tuple[int, Transaction]] = {}
+        self._arrived_at: dict[int, int] = {}
+        for thread, txns in zip(self._threads, buffers):
+            thread.buffer = deque(txns)
+            thread.phase = "dispatch"
+            thread.busy = 0
+            thread.active = None
+            self._schedule(start_time, thread.id)
+        for when, thread_id, txn in arrivals:
+            if when < start_time:
+                raise SimulationError(
+                    f"arrival at {when} precedes phase start {start_time}"
+                )
+            self._seq += 1
+            self._arrival_payload[self._seq] = (thread_id, txn)
+            self._arrived_at[txn.tid] = when
+            heapq.heappush(self._events, (when, self._seq, thread_id))
+
+        end_time = start_time
+        while self._events:
+            when, seq, thread_id = heapq.heappop(self._events)
+            self._now = when
+            end_time = max(end_time, when)
+            payload = self._arrival_payload.pop(seq, None)
+            if payload is not None:
+                self._handle_arrival(payload[0], payload[1], when)
+            else:
+                self._step(self._threads[thread_id], when)
+
+        stuck = [t for t in self._threads if t.phase in ("blocked", "gated")]
+        if stuck:
+            raise SimulationError(
+                f"threads {[t.id for t in stuck]} still "
+                f"{self._threads[stuck[0].id].phase} at end of phase"
+            )
+        return PhaseResult(
+            start_time=start_time,
+            end_time=end_time,
+            counters=self._counters,
+            thread_busy=tuple(t.busy for t in self._threads),
+            latencies=tuple(self._latencies),
+        )
+
+    # ------------------------------------------------------------------
+    # event machinery
+    # ------------------------------------------------------------------
+    def _schedule(self, when: int, thread_id: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (when, self._seq, thread_id))
+
+    def _step(self, thread: _Thread, now: int) -> None:
+        phase = thread.phase
+        if phase == "dispatch":
+            self._do_dispatch(thread, now)
+        elif phase == "op":
+            self._do_op(thread, now)
+        elif phase == "precommit":
+            self._do_precommit(thread, now)
+        elif phase == "commit":
+            self._do_commit(thread, now)
+        elif phase == "finish":
+            self._do_finish(thread, now)
+        elif phase in ("idle", "blocked", "gated"):
+            pass  # spurious wakeup; nothing to do
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown thread phase {phase!r}")
+
+    def _handle_arrival(self, thread_id: int, txn: Transaction, now: int) -> None:
+        thread = self._threads[thread_id]
+        thread.buffer.append(txn)
+        if thread.phase == "idle":
+            thread.phase = "dispatch"
+            self._schedule(now, thread.id)
+
+    def wake_gated(self, thread_id: int, now: int) -> None:
+        """Resume a thread parked on the dispatch gate."""
+        thread = self._threads[thread_id]
+        if thread.phase != "gated":
+            return
+        thread.phase = "dispatch"
+        self._schedule(now, thread_id)
+
+    def _do_dispatch(self, thread: _Thread, now: int) -> None:
+        if not thread.buffer:
+            thread.phase = "idle"
+            return
+        if self.dispatch_gate is not None and not self.dispatch_gate.ready(
+            thread.buffer[0]
+        ):
+            thread.phase = "gated"
+            self.dispatch_gate.block(thread.id, thread.buffer[0])
+            return
+        txn = thread.buffer.popleft()
+        cost = self.config.dispatch_cost
+        if self.dispatch_filter is not None:
+            defer, filter_cost = self.dispatch_filter.filter(thread.id, txn, now)
+            cost += filter_cost
+            if defer and thread.buffer:
+                thread.buffer.append(txn)
+                self._counters.deferrals += 1
+                thread.busy += cost
+                self._schedule(now + cost, thread.id)
+                return
+        self._txn_seq += 1
+        active = ActiveTxn(txn=txn, thread_id=thread.id, ts=self._txn_seq,
+                           dispatched_at=now)
+        active.attempt_start = now + cost
+        thread.active = active
+        thread.dispatch_began = now
+        thread.phase = "op"
+        if self.progress_hooks is not None:
+            self.progress_hooks.on_dispatch(thread.id, txn, now)
+        self._schedule(now + cost, thread.id)
+
+    def _do_op(self, thread: _Thread, now: int) -> None:
+        active = thread.active
+        if active.op_index == 0 and "_begun" not in active.ctx:
+            # Attempt start: snapshot-taking protocols refresh here, so a
+            # retry never re-reads from a stale snapshot.
+            active.ctx["_begun"] = True
+            self.protocol.begin(active, now)
+        op = active.txn.ops[active.op_index]
+        result = self.protocol.on_access(active, op, now)
+        if result.status is AccessStatus.ABORT:
+            self._abort(thread, now)
+            return
+        if result.status is AccessStatus.WAIT:
+            active.blocked_since = now
+            thread.phase = "blocked"
+            return
+        key = op.record_key
+        if (not op.is_write and key not in active.write_buffer
+                and key not in active.reads_log):
+            # First read only: repeated reads return the transaction's
+            # buffered copy (repeatable reads, as in DBx1000), so the
+            # version observed first is the one the transaction saw.
+            # Multi-version protocols report their snapshot's version.
+            active.reads_log[key] = self.protocol.read_version(active, key)
+        active.op_index += 1
+        op_done = now + self.config.op_cost + self.config.cc_op_overhead
+        if active.op_index < len(active.txn.ops):
+            self._schedule(op_done, thread.id)
+        else:
+            # Runtime-skew lower bound: the transaction's logic takes at
+            # least this long, so a retry re-executes (and re-pays) it —
+            # which is precisely why "longer transactions inflict larger
+            # conflict penalties" (Section 6.2).
+            bound = active.attempt_start + active.txn.min_runtime_cycles
+            thread.phase = "precommit"
+            self._schedule(max(op_done, bound), thread.id)
+
+    def _do_precommit(self, thread: _Thread, now: int) -> None:
+        if not self.protocol.pre_commit(thread.active, now):
+            self._abort(thread, now)
+            return
+        thread.phase = "commit"
+        self._schedule(now + self.config.commit_overhead, thread.id)
+
+    def _do_commit(self, thread: _Thread, now: int) -> None:
+        active = thread.active
+        if not self.protocol.on_commit(active, now):
+            self._abort(thread, now)
+            return
+        # Validation passed: install atomically at this instant.
+        if self.record_history:
+            reads = tuple(sorted(active.reads_log.items(), key=lambda kv: repr(kv[0])))
+        self.protocol.install(active, now)
+        if self.apply_writes:
+            self._apply_writes(active)
+        if self.record_history:
+            writes = tuple(
+                sorted(((k, self.versions.get(k, 0)) for k in active.write_buffer),
+                       key=lambda kv: repr(kv[0]))
+            )
+            self.history.append(
+                CommittedRecord(active.txn.tid, now, reads, writes,
+                                start_time=active.attempt_start)
+            )
+        self._counters.committed += 1
+        thread.phase = "finish"
+        self._schedule(now + active.txn.io_delay_cycles, thread.id)
+
+    def _do_finish(self, thread: _Thread, now: int) -> None:
+        active = thread.active
+        # Strict through the commit stall: locks release only now.
+        self.protocol.cleanup(active, True, now)
+        if self.progress_hooks is not None:
+            self.progress_hooks.on_commit(thread.id, active.txn, now)
+        thread.busy += now - thread.dispatch_began
+        born = self._arrived_at.get(active.txn.tid, active.dispatched_at)
+        self._latencies.append(now - born)
+        thread.active = None
+        thread.phase = "dispatch"
+        self._schedule(now, thread.id)
+
+    def _abort(self, thread: _Thread, now: int) -> None:
+        active = thread.active
+        self.protocol.cleanup(active, False, now)
+        self._counters.aborts += 1
+        self._counters.wasted_cycles += now - active.attempt_start
+        active.attempt += 1
+        if active.attempt > MAX_RETRIES:
+            raise SimulationError(
+                f"transaction {active.txn} exceeded {MAX_RETRIES} retries"
+            )
+        jitter_span = max(1, (self.config.abort_penalty + self.config.op_cost) // 2)
+        restart = now + self.config.abort_penalty + self._rng.randint(0, jitter_span)
+        active.reset_attempt(restart)
+        thread.phase = "op"
+        self._schedule(restart, thread.id)
+
+    def _apply_writes(self, active: ActiveTxn) -> None:
+        inserted = {
+            op.record_key for op in active.txn.ops if op.kind is OpKind.INSERT
+        }
+        for key, value in active.write_buffer.items():
+            if key in inserted:
+                table, pk = key
+                t = self.db.table(table)
+                if pk in t:
+                    t.get(pk).committed_write(value, active.txn.tid)
+                else:
+                    t.insert(pk, value, writer_tid=active.txn.tid)
+            else:
+                self.db.ensure(key).committed_write(value, active.txn.tid)

@@ -1,0 +1,45 @@
+"""Warm-up dry-run: the engine-side source of cost histories.
+
+TsPAR's default estimator "uses the warm-up dry-run trails of DBx1000 as
+the source of histories" (Section 6.1).  A dry-run executes transactions
+serially with writes suppressed, so the observed time is the abort-free
+serial cost minus commit-time I/O (the stall never happens because no log
+is flushed during a dry-run).  Optional multiplicative noise models
+measurement jitter between the warm-up and the measured run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..common.config import SimConfig
+from ..common.rng import Rng
+from ..txn.cost import HistoryCostModel, OpCountCostModel, serial_cost_cycles
+from ..txn.transaction import Transaction
+
+
+def dry_run_cost(txn: Transaction, sim: SimConfig) -> int:
+    """Serial abort-free cost excluding the commit I/O stall."""
+    return serial_cost_cycles(txn, sim) - txn.io_delay_cycles
+
+
+def warm_up_history(
+    transactions: Iterable[Transaction],
+    sim: SimConfig,
+    noise: float = 0.05,
+    rng: Rng | None = None,
+) -> HistoryCostModel:
+    """Run the warm-up dry-run and return the populated history model."""
+    rng = rng or Rng(sim.seed + 7)
+    model = HistoryCostModel(fallback=OpCountCostModel(sim))
+    for txn in transactions:
+        observed = dry_run_cost(txn, sim)
+        if noise > 0:
+            observed = max(1, int(observed * (1.0 + rng.uniform(-noise, noise))))
+        model.record(txn, observed)
+    return model
+
+
+def serial_makespan(transactions: Iterable[Transaction], sim: SimConfig) -> int:
+    """Total single-thread execution time; a lower-bound sanity figure."""
+    return sum(serial_cost_cycles(t, sim) for t in transactions)

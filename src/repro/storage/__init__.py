@@ -1,0 +1,8 @@
+"""In-memory storage engine: records, indexes, tables, database catalog."""
+
+from .database import Database
+from .index import HashIndex, OrderedIndex
+from .record import Record
+from .table import Table
+
+__all__ = ["Database", "HashIndex", "OrderedIndex", "Record", "Table"]

@@ -1,0 +1,74 @@
+"""Database: a catalog of named tables plus snapshot/restore helpers.
+
+Snapshot/restore exists because experiments execute the *same* bundle
+under several systems (a baseline and its TSKD-enhanced variant) and must
+start each run from identical storage state; tests also use it to compare
+a concurrent execution's final state against a serial oracle.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator
+
+from ..common.errors import StorageError
+from ..txn.operation import Key
+from .record import Record
+from .table import Table
+
+
+class Database:
+    """Named tables with a tiny catalog API."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, ordered: bool = False) -> Table:
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(name, ordered=ordered)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        t = self._tables.get(name)
+        if t is None:
+            raise StorageError(f"no table named {name!r}")
+        return t
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def record(self, key: Key) -> Record:
+        """Fetch a record by its global (table, pk) key."""
+        table, pk = key
+        return self.table(table).get(pk)
+
+    def find(self, key: Key) -> Record | None:
+        table, pk = key
+        t = self._tables.get(table)
+        return t.find(pk) if t is not None else None
+
+    def ensure(self, key: Key) -> Record:
+        """Record for ``key``, creating an empty row if missing.
+
+        Synthetic workloads pre-populate their tables, but insert-bearing
+        transactions create rows at commit; this is the commit-side helper.
+        """
+        table, pk = key
+        t = self.table(table)
+        rec = t.find(pk)
+        if rec is None:
+            rec = t.insert(pk)
+        return rec
+
+    def snapshot(self) -> "Database":
+        """Deep copy of the whole database (tables, records, indexes)."""
+        return copy.deepcopy(self)
+
+    def total_records(self) -> int:
+        return sum(len(t) for t in self._tables.values())

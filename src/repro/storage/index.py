@@ -1,0 +1,96 @@
+"""Primary-key indexes: hash for point access, ordered for ranges.
+
+The hash index is the workhorse (DBx1000's YCSB/TPC-C paths are
+point-access).  The ordered index keeps a sorted key list maintained with
+``bisect`` so TPC-C range logic (StockLevel's recent-order scan, Delivery's
+oldest-new-order probe) has a real index to run against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator, Optional
+
+from ..common.errors import DuplicateKeyError, KeyNotFoundError
+from .record import Record
+
+
+class HashIndex:
+    """Unique hash index: primary key -> Record."""
+
+    def __init__(self, name: str = "hash"):
+        self.name = name
+        self._map: dict[object, Record] = {}
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._map
+
+    def get(self, key: object) -> Record:
+        rec = self._map.get(key)
+        if rec is None:
+            raise KeyNotFoundError(f"{self.name}: no record for key {key!r}")
+        return rec
+
+    def find(self, key: object) -> Optional[Record]:
+        """Like :meth:`get` but returns None instead of raising."""
+        return self._map.get(key)
+
+    def put_new(self, key: object, record: Record) -> None:
+        if key in self._map:
+            raise DuplicateKeyError(f"{self.name}: key {key!r} already exists")
+        self._map[key] = record
+
+    def put_or_replace(self, key: object, record: Record) -> None:
+        self._map[key] = record
+
+    def remove(self, key: object) -> Record:
+        rec = self._map.pop(key, None)
+        if rec is None:
+            raise KeyNotFoundError(f"{self.name}: no record for key {key!r}")
+        return rec
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._map.keys())
+
+
+class OrderedIndex:
+    """Sorted key index supporting range scans over comparable keys.
+
+    Keys must be mutually comparable (ints or homogeneous tuples).  Kept in
+    sync with the owning table on insert/delete.
+    """
+
+    def __init__(self, name: str = "ordered"):
+        self.name = name
+        self._keys: list = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: object) -> None:
+        insort(self._keys, key)
+
+    def remove(self, key: object) -> None:
+        i = bisect_left(self._keys, key)
+        if i >= len(self._keys) or self._keys[i] != key:
+            raise KeyNotFoundError(f"{self.name}: no key {key!r}")
+        del self._keys[i]
+
+    def range(self, lo: object, hi: object) -> list:
+        """All keys in [lo, hi] inclusive, in order."""
+        i = bisect_left(self._keys, lo)
+        j = bisect_right(self._keys, hi)
+        return self._keys[i:j]
+
+    def min_ge(self, lo: object) -> Optional[object]:
+        """Smallest key >= lo, or None."""
+        i = bisect_left(self._keys, lo)
+        return self._keys[i] if i < len(self._keys) else None
+
+    def max_le(self, hi: object) -> Optional[object]:
+        """Largest key <= hi, or None."""
+        j = bisect_right(self._keys, hi)
+        return self._keys[j - 1] if j > 0 else None

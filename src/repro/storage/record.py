@@ -1,0 +1,27 @@
+"""Record: the versioned cell a table stores per primary key.
+
+Versions are bumped once per committed write; CC protocols validate
+against them (OCC/Silo read-set validation) or derive timestamps from
+them (TicToc keeps its own wts/rts words in the CC manager, seeded from
+the record version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Record:
+    """One stored row: an opaque value plus a monotone version counter."""
+
+    value: object = None
+    version: int = 0
+    #: Tid of the last committed writer; handy for debugging histories.
+    last_writer: int = -1
+
+    def committed_write(self, value: object, writer_tid: int) -> None:
+        """Install a committed write, bumping the version."""
+        self.value = value
+        self.version += 1
+        self.last_writer = writer_tid

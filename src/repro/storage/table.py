@@ -1,0 +1,78 @@
+"""Tables: hash-indexed rows with an optional ordered index for ranges."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..common.errors import DuplicateKeyError
+from .index import HashIndex, OrderedIndex
+from .record import Record
+
+
+class Table:
+    """An in-memory table with a unique primary key.
+
+    ``ordered=True`` additionally maintains a sorted key index so range
+    scans are supported (needed by the TPC-C ORDER-LINE / NEW-ORDER
+    tables); point-only tables skip that cost.
+    """
+
+    def __init__(self, name: str, ordered: bool = False):
+        self.name = name
+        self._hash = HashIndex(name=f"{name}.pk")
+        self._ordered: Optional[OrderedIndex] = (
+            OrderedIndex(name=f"{name}.ord") if ordered else None
+        )
+
+    def __len__(self) -> int:
+        return len(self._hash)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._hash
+
+    @property
+    def supports_range(self) -> bool:
+        return self._ordered is not None
+
+    def insert(self, key: object, value: object = None, writer_tid: int = -1) -> Record:
+        """Insert a brand-new row; raises DuplicateKeyError if present."""
+        rec = Record(value=value, version=1, last_writer=writer_tid)
+        self._hash.put_new(key, rec)
+        if self._ordered is not None:
+            self._ordered.add(key)
+        return rec
+
+    def upsert(self, key: object, value: object, writer_tid: int = -1) -> Record:
+        """Insert or committed-write, whichever applies."""
+        rec = self._hash.find(key)
+        if rec is None:
+            return self.insert(key, value, writer_tid)
+        rec.committed_write(value, writer_tid)
+        return rec
+
+    def get(self, key: object) -> Record:
+        return self._hash.get(key)
+
+    def find(self, key: object) -> Optional[Record]:
+        return self._hash.find(key)
+
+    def delete(self, key: object) -> None:
+        self._hash.remove(key)
+        if self._ordered is not None:
+            self._ordered.remove(key)
+
+    def range_keys(self, lo: object, hi: object) -> list:
+        """Keys in [lo, hi]; requires an ordered table."""
+        if self._ordered is None:
+            raise DuplicateKeyError(  # pragma: no cover - defensive
+                f"table {self.name} was created without range support"
+            )
+        return self._ordered.range(lo, hi)
+
+    def min_key_ge(self, lo: object) -> Optional[object]:
+        if self._ordered is None:
+            return None
+        return self._ordered.min_ge(lo)
+
+    def keys(self) -> Iterator[object]:
+        return self._hash.keys()

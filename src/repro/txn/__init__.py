@@ -1,0 +1,46 @@
+"""Transaction model: operations, transactions, conflicts, costs, workloads."""
+
+from .conflict_graph import ConflictGraph
+from .conflicts import IsolationLevel, conflict_keys, in_conflict
+from .cost import (
+    AccessSetSizeCostModel,
+    CostModel,
+    HistoryCostModel,
+    NoisyCostModel,
+    OpCountCostModel,
+    PerfectCostModel,
+    serial_cost_cycles,
+)
+from .operation import Key, Operation, OpKind, insert, read, write
+from .trace import load_workload, save_workload, workload_from_dict, workload_to_dict
+from .transaction import Transaction, make_transaction
+from .workload import Workload, split_round_robin, workload_from
+
+__all__ = [
+    "AccessSetSizeCostModel",
+    "ConflictGraph",
+    "CostModel",
+    "HistoryCostModel",
+    "IsolationLevel",
+    "Key",
+    "NoisyCostModel",
+    "OpCountCostModel",
+    "OpKind",
+    "Operation",
+    "PerfectCostModel",
+    "Transaction",
+    "Workload",
+    "conflict_keys",
+    "in_conflict",
+    "insert",
+    "load_workload",
+    "make_transaction",
+    "read",
+    "save_workload",
+    "workload_from_dict",
+    "workload_to_dict",
+    "serial_cost_cycles",
+    "split_round_robin",
+    "workload_from",
+    "write",
+]

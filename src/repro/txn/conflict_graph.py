@@ -1,0 +1,117 @@
+"""The conflict graph G_c of a workload (Section 2.1 / Section 4).
+
+Nodes are transactions; an undirected edge joins every conventionally
+conflicting pair.  Partitioners build this graph (Schism cuts it, Strife
+clusters its data-item projection) and TSgen re-uses it to look up the
+neighbours of residual transactions, so construction cost is shared —
+exactly the re-use the paper describes.
+
+The graph is backed by an inverted index (key -> readers / writers) with
+per-node neighbour caching, which keeps construction linear in the total
+access-set size and avoids materialising the quadratic edge set for hot
+keys unless a caller iterates all edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from .conflicts import IsolationLevel
+from .transaction import Transaction
+
+
+class ConflictGraph:
+    """Conflict graph over a fixed set of transactions."""
+
+    def __init__(
+        self,
+        transactions: Sequence[Transaction],
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+    ):
+        self.isolation = isolation
+        self._txns = {t.tid: t for t in transactions}
+        self._readers: dict = defaultdict(list)
+        self._writers: dict = defaultdict(list)
+        self._neighbor_cache: dict[int, frozenset[int]] = {}
+        for t in transactions:
+            for key in t.read_set:
+                self._readers[key].append(t.tid)
+            for key in t.write_set:
+                self._writers[key].append(t.tid)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._txns
+
+    def __len__(self) -> int:
+        return len(self._txns)
+
+    @property
+    def tids(self) -> Iterable[int]:
+        return self._txns.keys()
+
+    def transaction(self, tid: int) -> Transaction:
+        return self._txns[tid]
+
+    def neighbors(self, tid: int) -> frozenset[int]:
+        """All transactions in conflict with ``tid`` (cached)."""
+        cached = self._neighbor_cache.get(tid)
+        if cached is not None:
+            return cached
+        t = self._txns[tid]
+        out: set[int] = set()
+        if self.isolation is IsolationLevel.SNAPSHOT:
+            for key in t.write_set:
+                out.update(self._writers.get(key, ()))
+        else:
+            for key in t.read_set:
+                out.update(self._writers.get(key, ()))
+            for key in t.write_set:
+                out.update(self._writers.get(key, ()))
+                out.update(self._readers.get(key, ()))
+        out.discard(tid)
+        result = frozenset(out)
+        self._neighbor_cache[tid] = result
+        return result
+
+    def degree(self, tid: int) -> int:
+        return len(self.neighbors(tid))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        if a == b:
+            return False
+        # Probe from the side with the smaller access set.
+        ta, tb = self._txns[a], self._txns[b]
+        if len(ta.access_set) > len(tb.access_set):
+            ta, tb = tb, ta
+            a, b = b, a
+        if a in self._neighbor_cache:
+            return b in self._neighbor_cache[a]
+        if self.isolation is IsolationLevel.SNAPSHOT:
+            return not ta.write_set.isdisjoint(tb.write_set)
+        return (
+            not ta.write_set.isdisjoint(tb.write_set)
+            or not ta.write_set.isdisjoint(tb.read_set)
+            or not ta.read_set.isdisjoint(tb.write_set)
+        )
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate all conflict edges as (smaller tid, larger tid) pairs.
+
+        Materialises each node's neighbour set; intended for tests and for
+        partitioners on bundle-sized workloads, not for huge graphs.
+        """
+        seen: set[tuple[int, int]] = set()
+        for tid in self._txns:
+            for other in self.neighbors(tid):
+                edge = (tid, other) if tid < other else (other, tid)
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def writers_of(self, key) -> Sequence[int]:
+        """Transactions writing a key (used by Strife's data-item view)."""
+        return self._writers.get(key, ())
+
+    def readers_of(self, key) -> Sequence[int]:
+        return self._readers.get(key, ())

@@ -1,0 +1,55 @@
+"""Conventional conflicts, relative to an isolation level (Section 2.1).
+
+Under serializability, T and T' conflict when they access a common item
+and at least one writes it.  Under snapshot isolation, they conflict only
+when they *write* a common item (write-write).  The paper's Example 1
+notes T2 and T5 conflict under serializability but not under SI; the unit
+tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .transaction import Transaction
+
+
+class IsolationLevel(enum.Enum):
+    """Isolation levels whose conflict notions the library understands."""
+
+    SERIALIZABLE = "serializable"
+    SNAPSHOT = "snapshot"
+
+
+def in_conflict(
+    t1: Transaction,
+    t2: Transaction,
+    isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+) -> bool:
+    """True when ``t1`` and ``t2`` are in (conventional) conflict.
+
+    A transaction is never considered in conflict with itself.
+    """
+    if t1.tid == t2.tid:
+        return False
+    if isolation is IsolationLevel.SNAPSHOT:
+        return not t1.write_set.isdisjoint(t2.write_set)
+    # Serializability: common item with at least one writer.
+    return (
+        not t1.write_set.isdisjoint(t2.write_set)
+        or not t1.write_set.isdisjoint(t2.read_set)
+        or not t1.read_set.isdisjoint(t2.write_set)
+    )
+
+
+def conflict_keys(
+    t1: Transaction,
+    t2: Transaction,
+    isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+) -> frozenset:
+    """The data items on which ``t1`` and ``t2`` are contended."""
+    if t1.tid == t2.tid:
+        return frozenset()
+    if isolation is IsolationLevel.SNAPSHOT:
+        return t1.write_set & t2.write_set
+    return (t1.write_set & t2.access_set) | (t1.read_set & t2.write_set)

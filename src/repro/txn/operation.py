@@ -1,0 +1,74 @@
+"""Database actions: the reads, writes and inserts that make up transactions.
+
+A record is addressed by a :data:`Key` — a ``(table, primary_key)`` pair.
+Operations are immutable; the workload generators materialise each
+transaction's full operation sequence up-front (the stored-procedure /
+hard-coded-template assumption of Section 3's Limitations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Global address of a record: (table name, primary key).
+Key = Tuple[str, object]
+
+
+class OpKind(enum.Enum):
+    """The kinds of database actions a transaction may contain."""
+
+    READ = "R"
+    WRITE = "W"
+    INSERT = "I"
+    #: A range read whose exact key set is not known before execution;
+    #: transactions containing one are always executed with CC
+    #: (Section 3, Limitations (1)).
+    SCAN = "S"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (OpKind.WRITE, OpKind.INSERT)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One action on one record.
+
+    ``value`` carries an optional payload for writes/inserts so that
+    integration tests can run transactions with real data semantics; the
+    synthetic benchmark generators leave it ``None`` and the engine writes
+    a version token instead.
+    """
+
+    kind: OpKind
+    table: str
+    key: object
+    value: object = None
+
+    @property
+    def record_key(self) -> Key:
+        return (self.table, self.key)
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.is_write
+
+    def __repr__(self) -> str:  # compact: W[item:42]
+        return f"{self.kind.value}[{self.table}:{self.key}]"
+
+
+def read(table: str, key: object) -> Operation:
+    """Shorthand for a read operation."""
+    return Operation(OpKind.READ, table, key)
+
+
+def write(table: str, key: object, value: object = None) -> Operation:
+    """Shorthand for a write (update) operation."""
+    return Operation(OpKind.WRITE, table, key, value)
+
+
+def insert(table: str, key: object, value: object = None) -> Operation:
+    """Shorthand for an insert operation."""
+    return Operation(OpKind.INSERT, table, key, value)

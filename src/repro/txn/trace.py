@@ -1,0 +1,91 @@
+"""Workload traces: save and reload workloads as JSON.
+
+Lets experiments be frozen and replayed across machines or sessions
+(e.g. to compare systems later on the exact same bundle, extensions and
+all).  Keys may be ints, strings, or tuples thereof (TPC-C composite
+keys); tuples round-trip through a tagged encoding.  Operation values are
+not persisted (the synthetic workloads carry none).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..common.errors import WorkloadError
+from .operation import Operation, OpKind
+from .transaction import Transaction
+from .workload import Workload
+
+#: Format version written to every trace file.
+TRACE_VERSION = 1
+
+
+def _encode_key(key) -> object:
+    if isinstance(key, tuple):
+        return {"t": [_encode_key(k) for k in key]}
+    if isinstance(key, (int, str)):
+        return key
+    raise WorkloadError(f"cannot serialise key of type {type(key).__name__}")
+
+
+def _decode_key(obj):
+    if isinstance(obj, dict) and "t" in obj:
+        return tuple(_decode_key(k) for k in obj["t"])
+    return obj
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """A JSON-serialisable representation of a workload."""
+    txns = []
+    for t in workload:
+        txns.append({
+            "tid": t.tid,
+            "template": t.template,
+            "params": dict(t.params),
+            "min_runtime_cycles": t.min_runtime_cycles,
+            "io_delay_cycles": t.io_delay_cycles,
+            "has_range": t.has_range,
+            "ops": [
+                {"k": op.kind.value, "tb": op.table, "key": _encode_key(op.key)}
+                for op in t.ops
+            ],
+        })
+    return {"version": TRACE_VERSION, "name": workload.name,
+            "transactions": txns}
+
+
+def workload_from_dict(data: dict) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    if data.get("version") != TRACE_VERSION:
+        raise WorkloadError(
+            f"unsupported trace version {data.get('version')!r}"
+        )
+    kinds = {k.value: k for k in OpKind}
+    txns = []
+    for rec in data["transactions"]:
+        ops = tuple(
+            Operation(kinds[o["k"]], o["tb"], _decode_key(o["key"]))
+            for o in rec["ops"]
+        )
+        txns.append(Transaction(
+            tid=rec["tid"],
+            template=rec["template"],
+            ops=ops,
+            params=rec.get("params", {}),
+            min_runtime_cycles=rec.get("min_runtime_cycles", 0),
+            io_delay_cycles=rec.get("io_delay_cycles", 0),
+            has_range=rec.get("has_range", False),
+        ))
+    return Workload(txns, name=data.get("name", "trace"))
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload trace to ``path`` (JSON)."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload)))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload trace written by :func:`save_workload`."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,76 @@
+"""Workloads: bundles of transactions plus derived structures.
+
+A :class:`Workload` is the unit the paper calls W — a set of transactions
+revealed all at once (bundled) or streamed to thread-local buffers
+(unbundled; the engine just consumes the same list in arrival order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..common.errors import WorkloadError
+from .conflict_graph import ConflictGraph
+from .conflicts import IsolationLevel
+from .transaction import Transaction
+
+
+@dataclass
+class Workload:
+    """An ordered collection of transactions with unique, dense tids."""
+
+    transactions: list[Transaction]
+    name: str = "workload"
+    _by_tid: dict[int, Transaction] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._by_tid = {}
+        for t in self.transactions:
+            if t.tid in self._by_tid:
+                raise WorkloadError(f"duplicate tid {t.tid} in workload {self.name!r}")
+            self._by_tid[t.tid] = t
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def __getitem__(self, tid: int) -> Transaction:
+        """Look up a transaction by tid (not by position)."""
+        return self._by_tid[tid]
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._by_tid
+
+    def conflict_graph(
+        self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE
+    ) -> ConflictGraph:
+        """Build (or rebuild) the conflict graph of this workload."""
+        return ConflictGraph(self.transactions, isolation)
+
+    def total_ops(self) -> int:
+        return sum(t.num_ops for t in self.transactions)
+
+    def templates(self) -> dict[str, int]:
+        """Histogram of transaction templates, for quick sanity checks."""
+        out: dict[str, int] = {}
+        for t in self.transactions:
+            out[t.template] = out.get(t.template, 0) + 1
+        return out
+
+
+def workload_from(transactions: Iterable[Transaction], name: str = "workload") -> Workload:
+    """Build a workload, re-checking tid density is not required but ids unique."""
+    return Workload(list(transactions), name=name)
+
+
+def split_round_robin(txns: Sequence[Transaction], k: int) -> list[list[Transaction]]:
+    """The default lightweight transaction-to-thread assignment (Section 3)."""
+    if k <= 0:
+        raise WorkloadError(f"need at least one thread, got k={k}")
+    buffers: list[list[Transaction]] = [[] for _ in range(k)]
+    for i, t in enumerate(txns):
+        buffers[i % k].append(t)
+    return buffers

@@ -1,0 +1,58 @@
+"""Design-choice ablation experiments (registry + well-formedness)."""
+
+import pytest
+
+from repro.bench.ablations import ABLATIONS
+from repro.bench.experiments import Scale, run_experiment
+
+TINY = Scale(name="quick", bundle=80, seeds=(0,), threads=4,
+             ycsb_records=10_000, tpcc_warehouses=4)
+
+
+class TestRegistry:
+    def test_all_ablations_registered(self):
+        assert {"abl_tsgen", "abl_tsdefer", "abl_residual_assign",
+                "abl_isolation", "abl_latency"} <= set(ABLATIONS)
+
+    def test_run_experiment_resolves_ablations(self):
+        series = run_experiment("abl_latency", TINY)
+        assert series.exp_id == "abl_latency"
+
+
+class TestAblationSeries:
+    def test_tsgen_variants_complete(self):
+        series = run_experiment("abl_tsgen", TINY)
+        assert "default" in series.systems()
+        assert "literal Alg.1" in series.systems()
+        for system in series.systems():
+            assert series.get(system, "ycsb").throughput > 0
+
+    def test_tsgen_fallback_schedules_at_least_literal(self):
+        series = run_experiment("abl_tsgen", TINY)
+        default = series.get("default", "ycsb").scheduled_pct
+        literal = series.get("literal Alg.1", "ycsb").scheduled_pct
+        assert default >= literal - 1e-9
+
+    def test_tsdefer_variants_complete(self):
+        series = run_experiment("abl_tsdefer", TINY)
+        assert "DBCC" in series.systems()
+        assert "trigger=duplicates" in series.systems()
+
+    def test_residual_assign_component_reduces_retries(self):
+        series = run_experiment("abl_residual_assign", TINY)
+        rr = series.get("round_robin", "ycsb").retries_per_100k
+        comp = series.get("component", "ycsb").retries_per_100k
+        # Serialising conflict components removes residual-phase retries.
+        assert comp <= rr + 1e-9
+
+    def test_isolation_series_has_both_levels(self):
+        series = run_experiment("abl_isolation", TINY)
+        assert set(series.x_values) == {"serializable", "snapshot"}
+        for x in series.x_values:
+            assert series.get("TSKD[0]", x).throughput > 0
+
+    def test_latency_series_reports_percentiles(self):
+        series = run_experiment("abl_latency", TINY)
+        cell = series.get("DBCC", "ycsb")
+        assert cell.latency_p99 >= cell.latency_p50 > 0
+        assert any("p99" in note for note in series.notes)

@@ -1,0 +1,70 @@
+"""Command-line interface coverage."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+SMALL = ("--bundle", "120", "--threads", "4", "--records", "20000",
+         "--seed", "1")
+
+
+class TestRun:
+    def test_run_ycsb_tskd(self, capsys):
+        code, out = run_cli(capsys, "run", "--workload", "ycsb", *SMALL,
+                            "--system", "tskd-s")
+        assert code == 0
+        assert "TSKD[S]" in out and "txn/s" in out and "s%=" in out
+
+    def test_run_tpcc_baseline(self, capsys):
+        code, out = run_cli(capsys, "run", "--workload", "tpcc", "--bundle",
+                            "100", "--threads", "4", "--warehouses", "4",
+                            "--system", "horticulture")
+        assert code == 0
+        assert "txn/s" in out
+
+    def test_run_with_io_and_no_skew(self, capsys):
+        code, out = run_cli(capsys, "run", *SMALL, "--system", "dbcc",
+                            "--no-skew", "--io", "20")
+        assert code == 0
+
+    def test_run_with_mvcc(self, capsys):
+        code, out = run_cli(capsys, "run", *SMALL, "--system", "dbcc",
+                            "--cc", "mvcc_ser")
+        assert code == 0
+
+    def test_unknown_system_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", *SMALL, "--system", "magic"])
+
+
+class TestCompare:
+    def test_default_system_set(self, capsys):
+        code, out = run_cli(capsys, "compare", *SMALL)
+        assert code == 0
+        for name in ("dbcc", "strife", "tskd-s", "tskd-cc"):
+            assert name in out
+
+    def test_explicit_systems(self, capsys):
+        code, out = run_cli(capsys, "compare", *SMALL, "dbcc", "tskd-0")
+        assert code == 0
+        assert "tskd-0" in out and "strife" not in out
+
+
+class TestExperimentAndTune:
+    def test_experiment_subcommand_delegates(self, capsys):
+        code, out = run_cli(capsys, "experiment", "fig5a", "--quick")
+        assert code == 0
+        assert "fig5a" in out
+
+    def test_tune_prints_config(self, capsys):
+        code, out = run_cli(capsys, "tune", "--workload", "ycsb", "--bundle",
+                            "120", "--threads", "4", "--records", "20000")
+        assert code == 0
+        assert "#lookups=" in out

@@ -1,0 +1,103 @@
+"""Experiment registry and reporting machinery."""
+
+import pytest
+
+from repro.bench.experiments import (
+    BENCH,
+    EXPERIMENTS,
+    PAIRS,
+    PAPER,
+    QUICK,
+    Scale,
+    default_exp,
+    run_experiment,
+    tpcc_workload,
+    ycsb_workload,
+)
+from repro.bench.reporting import Cell, Series
+
+TINY = Scale(name="quick", bundle=60, seeds=(0,), threads=4,
+             ycsb_records=5_000, tpcc_warehouses=4)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        expected = {f"fig4{c}" for c in "abcdefghijkl"}
+        expected |= {f"fig5{c}" for c in "abcdefgh"}
+        expected |= {"fig6", "table2", "overhead"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_pairs_cover_tskd_instances(self):
+        assert PAIRS["TSKD[S]"] == "Strife"
+        assert PAIRS["TSKD[CC]"] == "DBCC"
+
+
+class TestScales:
+    def test_trim_behaviour(self):
+        assert QUICK.trim([1, 2, 3]) == [1, 3]
+        assert BENCH.trim([1, 2, 3]) == [1, 2, 3]
+        assert PAPER.trim([1, 2, 3]) == [1, 2, 3]
+
+    def test_default_exp_matches_table1(self):
+        exp = default_exp(BENCH)
+        assert exp.sim.num_threads == 20
+        assert exp.sim.cc == "occ"
+        assert exp.skew is not None and exp.skew.enabled
+        assert not exp.io.enabled
+
+
+class TestWorkloadFactories:
+    def test_ycsb_factory_applies_skew(self):
+        exp = default_exp(TINY)
+        w = ycsb_workload(TINY, exp, theta=0.8, seed=0)
+        assert len(w) == TINY.bundle
+        assert any(t.min_runtime_cycles > 0 for t in w)
+
+    def test_tpcc_factory(self):
+        exp = default_exp(TINY)
+        w = tpcc_workload(TINY, exp, seed=0)
+        assert len(w) == TINY.bundle
+        assert "NewOrder" in w.templates()
+
+
+class TestEndToEndExperiments:
+    def test_fig4a_produces_complete_series(self):
+        series = run_experiment("fig4a", TINY)
+        assert series.exp_id == "fig4a"
+        for system in series.systems():
+            for x in series.x_values:
+                cell = series.get(system, x)
+                assert cell.throughput > 0
+
+    def test_fig5g_includes_disabled_point(self):
+        series = run_experiment("fig5g", TINY)
+        assert 0 in series.x_values  # #lookups = 0 disables TsDEFER
+
+    def test_overhead_reports_ratio(self):
+        series = run_experiment("overhead", TINY)
+        assert series.notes
+        for name in ("Strife", "Schism"):
+            assert series.get(name, name).throughput >= 0
+
+    def test_render_contains_numbers(self):
+        series = run_experiment("fig5a", TINY)
+        text = series.render()
+        assert "fig5a" in text and "DBCC" in text and "TSKD[CC]" in text
+
+
+class TestSeriesHelpers:
+    def test_improvement_and_reduction(self):
+        s = Series("x", "t", "x", [1])
+        s.put("base", 1, Cell(throughput=100, retries_per_100k=200))
+        s.put("ours", 1, Cell(throughput=231, retries_per_100k=100))
+        assert abs(s.improvement("ours", "base", 1) - 131.0) < 1e-9
+        assert abs(s.retry_reduction("ours", "base", 1) - 50.0) < 1e-9
+
+    def test_render_handles_missing_cells(self):
+        s = Series("x", "t", "x", [1, 2])
+        s.put("a", 1, Cell(throughput=10, retries_per_100k=0))
+        assert "-" in s.render()

@@ -1,0 +1,104 @@
+"""Runtime-skew and I/O-latency workload extensions."""
+
+from repro.common.config import (
+    MIN_IO_CYCLES,
+    IoLatencyConfig,
+    RuntimeSkewConfig,
+    SimConfig,
+)
+from repro.common.rng import Rng
+from repro.bench.workloads import (
+    apply_io_latency,
+    apply_runtime_skew,
+    average_runtime_cycles,
+    YcsbGenerator,
+)
+from repro.common.config import YcsbConfig
+
+
+def fresh_workload(n=100, seed=0):
+    gen = YcsbGenerator(YcsbConfig(num_records=5_000, ops_per_txn=8), seed=seed)
+    return gen.make_workload(n)
+
+
+SIM = SimConfig()
+
+
+class TestRuntimeSkew:
+    def test_bounds_lie_in_configured_range(self):
+        w = fresh_workload()
+        skew = RuntimeSkewConfig(min_t=0.5, p=48)
+        apply_runtime_skew(w, skew, SIM, rng=Rng(1))
+        t_avg = average_runtime_cycles(w, SIM)
+        lo, hi = 0.5 * t_avg, 48 * 0.5 * t_avg
+        for t in w:
+            assert lo <= t.min_runtime_cycles <= hi + 1
+
+    def test_mass_concentrates_at_small_bounds(self):
+        w = fresh_workload(400)
+        apply_runtime_skew(w, RuntimeSkewConfig(), SIM, rng=Rng(2))
+        t_avg = average_runtime_cycles(w, SIM)
+        small = sum(1 for t in w if t.min_runtime_cycles < 4 * t_avg)
+        assert small > len(w) * 0.5
+
+    def test_runtime_class_param_attached(self):
+        w = fresh_workload()
+        apply_runtime_skew(w, RuntimeSkewConfig(), SIM, rng=Rng(3))
+        for t in w:
+            assert "runtime_class" in t.params
+            assert t.params["runtime_class"] >= 0
+
+    def test_disabled_skew_is_noop(self):
+        w = fresh_workload()
+        apply_runtime_skew(w, RuntimeSkewConfig(enabled=False), SIM)
+        assert all(t.min_runtime_cycles == 0 for t in w)
+
+    def test_deterministic_given_rng(self):
+        w1, w2 = fresh_workload(seed=9), fresh_workload(seed=9)
+        apply_runtime_skew(w1, RuntimeSkewConfig(), SIM, rng=Rng(5))
+        apply_runtime_skew(w2, RuntimeSkewConfig(), SIM, rng=Rng(5))
+        assert [t.min_runtime_cycles for t in w1] == [
+            t.min_runtime_cycles for t in w2
+        ]
+
+    def test_smaller_theta_means_more_long_transactions(self):
+        def long_mass(theta_t):
+            w = fresh_workload(500, seed=4)
+            apply_runtime_skew(w, RuntimeSkewConfig(theta_t=theta_t), SIM,
+                               rng=Rng(6))
+            bounds = sorted(t.min_runtime_cycles for t in w)
+            return sum(bounds[-50:])  # mass of the longest 10%
+
+        assert long_mass(0.7) > long_mass(0.9)
+
+
+class TestIoLatency:
+    def test_delays_in_range(self):
+        w = fresh_workload()
+        apply_io_latency(w, IoLatencyConfig(l_io=50), rng=Rng(1))
+        hi = 50 * MIN_IO_CYCLES
+        for t in w:
+            assert 0 <= t.io_delay_cycles <= hi
+
+    def test_disabled_is_noop(self):
+        w = fresh_workload()
+        apply_io_latency(w, IoLatencyConfig(l_io=0))
+        assert all(t.io_delay_cycles == 0 for t in w)
+
+    def test_larger_theta_shortens_the_tail(self):
+        def mean_delay(theta_io):
+            w = fresh_workload(400, seed=5)
+            apply_io_latency(w, IoLatencyConfig(l_io=50, theta_io=theta_io),
+                             rng=Rng(2))
+            return sum(t.io_delay_cycles for t in w) / len(w)
+
+        assert mean_delay(1.6) < mean_delay(0.8)
+
+    def test_larger_l_io_longer_worst_case(self):
+        w1 = fresh_workload(300, seed=6)
+        w2 = fresh_workload(300, seed=6)
+        apply_io_latency(w1, IoLatencyConfig(l_io=10), rng=Rng(3))
+        apply_io_latency(w2, IoLatencyConfig(l_io=100), rng=Rng(3))
+        assert max(t.io_delay_cycles for t in w2) > max(
+            t.io_delay_cycles for t in w1
+        )

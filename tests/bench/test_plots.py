@@ -1,0 +1,57 @@
+"""ASCII chart rendering."""
+
+from repro.bench.plots import bar_chart, series_charts, sweep_chart
+from repro.bench.reporting import Cell, Series
+
+
+def make_series():
+    s = Series("figX", "demo", "theta", [0.7, 0.9])
+    s.put("A", 0.7, Cell(throughput=100.0, retries_per_100k=5))
+    s.put("B", 0.7, Cell(throughput=50.0, retries_per_100k=9))
+    s.put("A", 0.9, Cell(throughput=10.0, retries_per_100k=50))
+    s.put("B", 0.9, Cell(throughput=20.0, retries_per_100k=40))
+    return s
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(make_series(), 0.7)
+        lines = chart.splitlines()
+        bar_a = lines[1].count("#")
+        bar_b = lines[2].count("#")
+        assert bar_a == 2 * bar_b
+
+    def test_labels_and_values_present(self):
+        chart = bar_chart(make_series(), 0.7)
+        assert "A" in chart and "B" in chart and "100" in chart
+
+    def test_missing_point(self):
+        s = make_series()
+        assert "no data" in bar_chart(s, 0.8)
+
+    def test_custom_metric(self):
+        chart = bar_chart(make_series(), 0.9,
+                          metric=lambda c: c.retries_per_100k,
+                          title="#retry")
+        assert "#retry" in chart
+
+    def test_zero_values_render(self):
+        s = Series("z", "t", "x", [1])
+        s.put("A", 1, Cell(throughput=0.0, retries_per_100k=0))
+        chart = bar_chart(s, 1)
+        assert "A" in chart
+
+
+class TestSweepChart:
+    def test_one_row_per_x(self):
+        chart = sweep_chart(make_series(), "A")
+        assert chart.count("|") == 2
+
+    def test_unknown_system(self):
+        assert "no data" in sweep_chart(make_series(), "Z")
+
+
+class TestSeriesCharts:
+    def test_all_points_rendered(self):
+        text = series_charts(make_series())
+        assert "theta=0.7" in text and "theta=0.9" in text

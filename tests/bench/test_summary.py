@@ -1,0 +1,49 @@
+"""Headline-number aggregation from experiment series."""
+
+from repro.bench.reporting import Cell, Series
+from repro.bench.summary import headline, summarize_all, summarize_series
+
+
+def series_with_pair():
+    s = Series("figX", "demo", "theta", [0.7, 0.9])
+    s.put("Strife", 0.7, Cell(throughput=100, retries_per_100k=100))
+    s.put("TSKD[S]", 0.7, Cell(throughput=200, retries_per_100k=50))
+    s.put("Strife", 0.9, Cell(throughput=50, retries_per_100k=200))
+    s.put("TSKD[S]", 0.9, Cell(throughput=75, retries_per_100k=100))
+    return s
+
+
+class TestSummarizeSeries:
+    def test_pair_aggregates(self):
+        (summary,) = summarize_series(series_with_pair())
+        assert summary.ours == "TSKD[S]" and summary.baseline == "Strife"
+        assert summary.mean_improvement == 75.0   # (100 + 50) / 2
+        assert summary.max_improvement == 100.0
+        assert summary.mean_retry_reduction == 50.0
+
+    def test_missing_baseline_yields_nothing(self):
+        s = Series("figY", "demo", "x", [1])
+        s.put("TSKD[S]", 1, Cell(throughput=10, retries_per_100k=1))
+        assert summarize_series(s) == []
+
+    def test_partial_sweep_points_skipped(self):
+        s = series_with_pair()
+        s.x_values.append(1.1)  # no cells at 1.1
+        (summary,) = summarize_series(s)
+        assert summary.mean_improvement == 75.0
+
+
+class TestHeadline:
+    def test_partitioning_and_cc_sides_split(self):
+        part = summarize_series(series_with_pair())
+        cc_series = Series("fig5x", "demo", "x", [1])
+        cc_series.put("DBCC", 1, Cell(throughput=100, retries_per_100k=100))
+        cc_series.put("TSKD[CC]", 1, Cell(throughput=150, retries_per_100k=80))
+        text = headline(part + summarize_series(cc_series))
+        assert "partitioning-based" in text and "+75.0%" in text
+        assert "CC-based" in text and "+50.0%" in text
+
+    def test_summarize_all_renders(self):
+        text = summarize_all([series_with_pair()])
+        assert "figX" in text and "TSKD[S]" in text
+        assert "paper: +131%" in text

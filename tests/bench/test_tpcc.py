@@ -1,0 +1,168 @@
+"""Full-mix TPC-C generator: templates, key discipline, population."""
+
+from collections import Counter
+
+import pytest
+
+from repro.common.config import TpccConfig
+from repro.storage import Database
+from repro.bench.workloads import TpccGenerator
+from repro.bench.workloads.tpcc import C, D, NO, O, OL, S, W
+
+
+def small_cfg(**kw):
+    base = dict(num_warehouses=4, districts_per_warehouse=3,
+                customers_per_district=20, items=50)
+    base.update(kw)
+    return TpccConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TpccGenerator(small_cfg(), seed=1)
+
+
+@pytest.fixture(scope="module")
+def workload(generator):
+    return generator.make_workload(400)
+
+
+class TestMix:
+    def test_all_templates_present(self, workload):
+        assert set(workload.templates()) == {
+            "NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"
+        }
+
+    def test_mix_roughly_matches_spec(self, workload):
+        hist = workload.templates()
+        n = len(workload)
+        assert 0.35 <= hist["NewOrder"] / n <= 0.55
+        assert 0.33 <= hist["Payment"] / n <= 0.53
+
+    def test_pinned_mix(self):
+        g = TpccGenerator(small_cfg(mix=(1.0, 0.0, 0.0, 0.0, 0.0)), seed=2)
+        w = g.make_workload(20)
+        assert set(w.templates()) == {"NewOrder"}
+
+
+class TestNewOrder:
+    def new_orders(self, workload):
+        return [t for t in workload if t.template == "NewOrder"]
+
+    def test_district_rmw(self, workload):
+        for t in self.new_orders(workload)[:20]:
+            w_id, d_id = t.params["w_id"], t.params["d_id"]
+            assert (D, (w_id, d_id)) in t.read_set
+            assert (D, (w_id, d_id)) in t.write_set
+
+    def test_order_ids_are_unique_per_district(self, workload):
+        seen = set()
+        for t in self.new_orders(workload):
+            for table, key in t.write_set:
+                if table == O:
+                    assert key not in seen
+                    seen.add(key)
+
+    def test_item_reads_and_stock_writes(self, workload):
+        for t in self.new_orders(workload)[:20]:
+            n_items = t.params["n_items"]
+            item_reads = [k for tab, k in t.read_set if tab == "item"]
+            stock_writes = [k for tab, k in t.write_set if tab == S]
+            assert len(stock_writes) <= n_items  # duplicates collapse
+            assert 1 <= len(item_reads) <= n_items
+
+    def test_cross_orders_touch_remote_stock(self):
+        g = TpccGenerator(small_cfg(cross_pct=1.0), seed=3)
+        w = g.make_workload(60)
+        crossers = [t for t in w if t.template == "NewOrder"]
+        assert crossers
+        for t in crossers:
+            homes = {k[0] for tab, k in t.write_set if tab == S}
+            assert len(homes) >= 2 or t.params["w_id"] not in homes
+
+
+class TestPayment:
+    def test_warehouse_rmw_is_hot(self, workload):
+        payments = [t for t in workload if t.template == "Payment"]
+        for t in payments[:20]:
+            w_id = t.params["w_id"]
+            assert (W, w_id) in t.write_set  # the famously hot ytd update
+
+    def test_history_inserts_are_unique(self, workload):
+        h_keys = []
+        for t in workload:
+            if t.template == "Payment":
+                h_keys += [k for tab, k in t.write_set if tab == "history"]
+        assert len(h_keys) == len(set(h_keys))
+
+
+class TestDeliveryAndStatus:
+    def test_delivery_consumes_open_orders(self):
+        g = TpccGenerator(small_cfg(mix=(0.0, 0.0, 0.0, 1.0, 0.0)), seed=4)
+        w = g.make_workload(30)
+        keys_seen = Counter()
+        for t in w:
+            for tab, key in t.write_set:
+                if tab == NO:
+                    keys_seen[key] += 1
+        # Each new_order row is delivered at most once.
+        assert not keys_seen or keys_seen.most_common(1)[0][1] == 1
+
+    def test_order_status_is_read_only(self, workload):
+        for t in workload:
+            if t.template == "OrderStatus":
+                assert not t.write_set
+
+    def test_stock_level_is_read_only_and_ranged(self, workload):
+        for t in workload:
+            if t.template == "StockLevel":
+                assert not t.write_set
+                assert t.has_range
+
+
+class TestPopulate:
+    def test_populate_matches_generated_accesses(self):
+        """Every key accessed by the workload exists after populate (or is
+        inserted by some transaction in the workload)."""
+        g = TpccGenerator(small_cfg(), seed=5)
+        w = g.make_workload(150)
+        db = Database()
+        g.populate(db)
+        from repro.txn.operation import OpKind
+
+        inserted = {op.record_key for t in w for op in t.ops
+                    if op.kind is OpKind.INSERT}
+        missing = []
+        for t in w:
+            for op in t.ops:
+                if op.record_key in inserted:
+                    continue
+                table, pk = op.record_key
+                if db.table(table).find(pk) is None:
+                    missing.append(op.record_key)
+        assert not missing, f"first missing: {missing[:5]}"
+
+    def test_populate_row_counts(self):
+        g = TpccGenerator(small_cfg(), seed=6)
+        db = Database()
+        g.populate(db)
+        cfg = small_cfg()
+        assert len(db.table(W)) == cfg.num_warehouses
+        assert len(db.table(D)) == cfg.num_warehouses * cfg.districts_per_warehouse
+        assert len(db.table(C)) == (cfg.num_warehouses *
+                                    cfg.districts_per_warehouse *
+                                    cfg.customers_per_district)
+        assert len(db.table(S)) == cfg.num_warehouses * cfg.items
+        assert len(db.table(O)) > 0 and len(db.table(OL)) > 0
+
+    def test_populate_correct_after_generation(self):
+        """populate() must load the *initial* orders even when transactions
+        were generated first (Delivery pops open orders)."""
+        g = TpccGenerator(small_cfg(mix=(0.0, 0.0, 0.0, 1.0, 0.0)), seed=7)
+        w = g.make_workload(20)  # deliveries consume open orders
+        db = Database()
+        g.populate(db)
+        for t in w:
+            for tab, key in t.read_set:
+                if tab == NO:
+                    assert db.table(NO).find(key) is not None

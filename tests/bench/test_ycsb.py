@@ -1,0 +1,123 @@
+"""YCSB generator: distribution, determinism, population."""
+
+from collections import Counter
+
+from repro.common.config import YcsbConfig
+from repro.storage import Database
+from repro.bench.workloads import YCSB_TABLE, YcsbGenerator
+
+
+def gen(theta=0.8, n_records=10_000, ops=16, seed=0):
+    return YcsbGenerator(YcsbConfig(num_records=n_records, theta=theta,
+                                    ops_per_txn=ops), seed=seed)
+
+
+class TestGeneration:
+    def test_transaction_shape(self):
+        t = gen().make_transaction(0)
+        assert t.num_ops == 16
+        assert t.template == "ycsb"
+        assert len(t.access_set) == 16  # keys are distinct
+
+    def test_keys_within_table(self):
+        w = gen(n_records=500).make_workload(50)
+        for t in w:
+            for table, key in t.access_set:
+                assert table == YCSB_TABLE
+                assert 0 <= key < 500
+
+    def test_read_write_mix_near_half(self):
+        w = gen().make_workload(200)
+        writes = sum(len(t.write_set) for t in w)
+        total = sum(t.num_ops for t in w)
+        assert 0.42 <= writes / total <= 0.58
+
+    def test_deterministic_per_seed(self):
+        w1 = gen(seed=5).make_workload(30)
+        w2 = gen(seed=5).make_workload(30)
+        assert [t.access_set for t in w1] == [t.access_set for t in w2]
+        w3 = gen(seed=6).make_workload(30)
+        assert [t.access_set for t in w1] != [t.access_set for t in w3]
+
+    def test_tid_numbering(self):
+        w = gen().make_workload(10, tid_start=100)
+        assert [t.tid for t in w] == list(range(100, 110))
+
+    def test_skew_increases_with_theta(self):
+        def top_key_share(theta):
+            w = gen(theta=theta, seed=2).make_workload(300)
+            counts = Counter(key for t in w for key in t.access_set)
+            return counts.most_common(1)[0][1] / sum(counts.values())
+
+        assert top_key_share(0.95) > top_key_share(0.5)
+
+
+class TestPopulate:
+    def test_populate_creates_all_records(self):
+        db = Database()
+        g = gen(n_records=200)
+        g.populate(db)
+        table = db.table(YCSB_TABLE)
+        assert len(table) == 200
+        assert len(table.get(0).value) == 128  # record_size
+
+
+class TestCoreWorkloadPresets:
+    def test_presets_exist(self):
+        from repro.common.config import ycsb_core_workload
+
+        a = ycsb_core_workload("A")
+        b = ycsb_core_workload("b")
+        c = ycsb_core_workload("C")
+        e = ycsb_core_workload("E")
+        assert a.read_ratio == 0.5
+        assert b.read_ratio == 0.95 and b.scan_ratio == 0.0
+        assert c.read_ratio == 1.0
+        assert e.scan_ratio > 0
+
+    def test_unknown_preset(self):
+        from repro.common.config import ycsb_core_workload
+        from repro.common.errors import ConfigError
+        import pytest
+
+        with pytest.raises(ConfigError):
+            ycsb_core_workload("z")
+
+    def test_preset_overrides(self):
+        from repro.common.config import ycsb_core_workload
+
+        cfg = ycsb_core_workload("a", theta=0.99, num_records=123)
+        assert cfg.theta == 0.99 and cfg.num_records == 123
+
+    def test_workload_c_is_read_only(self):
+        from repro.common.config import ycsb_core_workload
+
+        cfg = ycsb_core_workload("c", num_records=1_000, ops_per_txn=4)
+        w = YcsbGenerator(cfg, seed=9).make_workload(40)
+        assert all(not t.write_set for t in w)
+
+    def test_workload_e_has_ranges(self):
+        from repro.common.config import ycsb_core_workload
+        from repro.txn import OpKind
+
+        cfg = ycsb_core_workload("e", num_records=1_000)
+        w = YcsbGenerator(cfg, seed=10).make_workload(40)
+        assert any(t.has_range for t in w)
+        scans = [op for t in w for op in t.ops if op.kind is OpKind.SCAN]
+        assert scans
+
+    def test_range_transactions_stay_under_cc_in_tspar(self):
+        from repro.common.config import ycsb_core_workload
+        from repro.core import TsPar
+        from repro.partition import StrifePartitioner
+        from repro.txn import OpCountCostModel
+        from repro.common.rng import Rng
+
+        cfg = ycsb_core_workload("e", num_records=1_000)
+        w = YcsbGenerator(cfg, seed=11).make_workload(60)
+        tspar = TsPar(StrifePartitioner())
+        graph = w.conflict_graph()
+        plan = tspar.make_plan(w, 3, OpCountCostModel(), graph, Rng(0))
+        ranged = {t.tid for t in w if t.has_range}
+        in_parts = {t.tid for p in plan.parts for t in p}
+        assert not (ranged & in_parts)

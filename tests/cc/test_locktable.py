@@ -1,0 +1,117 @@
+"""Record-granularity S/X lock table semantics."""
+
+from repro.cc import LockMode, LockTable
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+KEY = ("t", 1)
+
+
+class TestAcquire:
+    def test_shared_locks_are_compatible(self):
+        lt = LockTable()
+        assert lt.try_acquire(KEY, 1, S)
+        assert lt.try_acquire(KEY, 2, S)
+        assert lt.holders(KEY) == {1, 2}
+
+    def test_exclusive_excludes_everyone(self):
+        lt = LockTable()
+        assert lt.try_acquire(KEY, 1, X)
+        assert not lt.try_acquire(KEY, 2, X)
+        assert not lt.try_acquire(KEY, 2, S)
+
+    def test_shared_blocks_exclusive_from_others(self):
+        lt = LockTable()
+        assert lt.try_acquire(KEY, 1, S)
+        assert not lt.try_acquire(KEY, 2, X)
+
+    def test_sole_holder_upgrade(self):
+        lt = LockTable()
+        assert lt.try_acquire(KEY, 1, S)
+        assert lt.try_acquire(KEY, 1, X)  # upgrade allowed
+        assert not lt.try_acquire(KEY, 2, S)
+
+    def test_upgrade_denied_with_other_sharers(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, S)
+        lt.try_acquire(KEY, 2, S)
+        assert not lt.try_acquire(KEY, 1, X)
+
+    def test_reentrant(self):
+        lt = LockTable()
+        assert lt.try_acquire(KEY, 1, X)
+        assert lt.try_acquire(KEY, 1, X)
+        assert lt.try_acquire(KEY, 1, S)
+
+
+class TestReleaseAndWaiters:
+    def test_release_grants_fifo(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, X)
+        lt.enqueue(KEY, 2, X)
+        lt.enqueue(KEY, 3, X)
+        woken = lt.release_all(1, {KEY})
+        assert [t for t, _ in woken] == [2]
+        assert lt.holders(KEY) == {2}
+
+    def test_release_grants_multiple_sharers(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, X)
+        lt.enqueue(KEY, 2, S)
+        lt.enqueue(KEY, 3, S)
+        lt.enqueue(KEY, 4, X)
+        woken = lt.release_all(1, {KEY})
+        assert sorted(t for t, _ in woken) == [2, 3]
+        assert lt.holders(KEY) == {2, 3}
+
+    def test_sharer_before_exclusive_stops_grant_chain(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, X)
+        lt.enqueue(KEY, 2, X)
+        lt.enqueue(KEY, 3, S)
+        woken = lt.release_all(1, {KEY})
+        assert [t for t, _ in woken] == [2]
+
+    def test_release_all_only_touches_held_keys(self):
+        lt = LockTable()
+        other = ("t", 2)
+        lt.try_acquire(KEY, 1, X)
+        lt.try_acquire(other, 2, X)
+        lt.release_all(1, {KEY, other})
+        assert lt.holders(other) == {2}
+
+    def test_partial_release_keeps_mode(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, S)
+        lt.try_acquire(KEY, 2, S)
+        lt.release_all(1, {KEY})
+        assert lt.holders(KEY) == {2}
+        assert not lt.try_acquire(KEY, 3, X)
+
+    def test_cancel_wait(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, X)
+        lt.enqueue(KEY, 2, X)
+        lt.cancel_wait(KEY, 2)
+        woken = lt.release_all(1, {KEY})
+        assert woken == []
+
+    def test_reset(self):
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, X)
+        lt.reset()
+        assert lt.try_acquire(KEY, 2, X)
+
+    def test_upgrade_waiter_not_blocked_behind_incompatible_head(self):
+        """Regression: a sole-holder upgrade queued behind a foreign X
+        waiter must be granted once other sharers drain — FIFO-only
+        granting deadlocks here (found by hypothesis via wait-die)."""
+        lt = LockTable()
+        lt.try_acquire(KEY, 1, S)   # thread 1 holds S
+        lt.try_acquire(KEY, 2, S)   # thread 2 holds S
+        lt.enqueue(KEY, 3, X)       # foreign X waiter (holds nothing)
+        lt.enqueue(KEY, 1, X)       # thread 1 queues its upgrade
+        woken = lt.release_all(2, {KEY})  # the other sharer drains
+        assert (1, KEY) in woken    # the upgrade is granted...
+        assert lt.holders(KEY) == {1}
+        woken2 = lt.release_all(1, {KEY})
+        assert (3, KEY) in woken2   # ...and the X waiter follows

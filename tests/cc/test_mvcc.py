@@ -1,0 +1,154 @@
+"""MVCC: snapshot reads, first-committer-wins, write skew semantics."""
+
+import pytest
+
+from repro.common import SimConfig
+from repro.sim import (
+    MulticoreEngine,
+    assert_serializable,
+    assert_snapshot_consistent,
+    is_serializable,
+    snapshot_violations,
+)
+from repro.txn import make_transaction, read, write
+
+SIM = SimConfig(num_threads=2, cc="mvcc", op_cost=1000, cc_op_overhead=0,
+                commit_overhead=0, dispatch_cost=0, abort_penalty=0)
+
+
+def padded(tid, ops_before, core_ops, ops_after, pad_base):
+    ops = [read("pad", pad_base + i) for i in range(ops_before)]
+    ops += core_ops
+    ops += [read("pad", pad_base + 100 + i) for i in range(ops_after)]
+    return make_transaction(tid, ops)
+
+
+def run(buffers, cc="mvcc"):
+    engine = MulticoreEngine(SIM.with_(cc=cc), record_history=True)
+    result = engine.run(buffers)
+    return engine, result
+
+
+class TestSnapshotReads:
+    def test_reader_ignores_later_commits(self):
+        # Long reader starts before the writer commits: its snapshot must
+        # show version 0 even though it validates after the write.
+        reader = padded(1, 0, [read("x", 1)], 8, 0)
+        writer = padded(2, 1, [write("x", 1)], 0, 1000)
+        engine, result = run([[reader], [writer]])
+        assert result.counters.aborts == 0  # SI never aborts pure readers
+        read_rec = next(r for r in engine.history if r.tid == 1)
+        assert dict(read_rec.reads)[("x", 1)] == 0
+        assert_snapshot_consistent(engine.history)
+
+    def test_reader_after_commit_sees_new_version(self):
+        writer = padded(1, 0, [write("x", 1)], 0, 0)
+        # Same thread: the reader's snapshot begins after the commit.
+        reader = padded(2, 0, [read("x", 1)], 0, 1000)
+        engine, _ = run([[writer, reader], []])
+        read_rec = next(r for r in engine.history if r.tid == 2)
+        assert dict(read_rec.reads)[("x", 1)] == 1
+        assert_snapshot_consistent(engine.history)
+
+    def test_retry_refreshes_snapshot(self):
+        # Two concurrent writers of x: the loser retries and must then see
+        # the winner's version (otherwise it would abort forever).
+        a = padded(1, 0, [read("x", 1), write("x", 1)], 6, 0)
+        b = padded(2, 1, [read("x", 1), write("x", 1)], 6, 1000)
+        engine, result = run([[a], [b]])
+        assert result.counters.committed == 2
+        assert result.counters.aborts >= 1
+        assert_snapshot_consistent(engine.history)
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_blind_writes_conflict(self):
+        slow = padded(1, 0, [write("x", 1)], 8, 0)
+        fast = padded(2, 1, [write("x", 1)], 0, 1000)
+        _, result = run([[slow], [fast]])
+        assert result.counters.aborts == 1  # ww under SI is a conflict
+        assert result.counters.committed == 2
+
+    def test_disjoint_writers_commit_freely(self):
+        a = padded(1, 0, [write("x", 1)], 4, 0)
+        b = padded(2, 0, [write("x", 2)], 4, 1000)
+        _, result = run([[a], [b]])
+        assert result.counters.aborts == 0
+
+
+class TestWriteSkew:
+    def skew_pair(self):
+        # T1 reads y, writes x; T2 reads x, writes y — concurrent.
+        t1 = padded(1, 0, [read("x", "y"), write("x", "x")], 5, 0)
+        t2 = padded(2, 0, [read("x", "x"), write("x", "y")], 5, 1000)
+        return t1, t2
+
+    def test_si_permits_write_skew(self):
+        engine, result = run([[self.skew_pair()[0]], [self.skew_pair()[1]]])
+        assert result.counters.aborts == 0
+        # SI-consistent, but NOT serializable: the famous SI anomaly.
+        assert_snapshot_consistent(engine.history)
+        assert not is_serializable(engine.history)
+
+    def test_serializable_mvcc_rejects_write_skew(self):
+        engine, result = run(
+            [[self.skew_pair()[0]], [self.skew_pair()[1]]], cc="mvcc_ser"
+        )
+        assert result.counters.aborts >= 1
+        assert_serializable(engine.history)
+
+
+class TestSnapshotOracle:
+    def test_detects_fcw_violation(self):
+        from repro.sim.engine import CommittedRecord
+
+        X = ("t", "x")
+        bad = [
+            CommittedRecord(1, commit_time=10, reads=(), writes=((X, 1),),
+                            start_time=0),
+            CommittedRecord(2, commit_time=9, reads=(), writes=((X, 2),),
+                            start_time=1),  # overlaps writer of v1
+        ]
+        assert snapshot_violations(bad)
+        with pytest.raises(AssertionError):
+            assert_snapshot_consistent(bad)
+
+    def test_detects_non_snapshot_read(self):
+        from repro.sim.engine import CommittedRecord
+
+        X = ("t", "x")
+        bad = [
+            CommittedRecord(1, commit_time=5, reads=(), writes=((X, 1),),
+                            start_time=0),
+            # Started at 10 (after v1 committed) yet read version 0.
+            CommittedRecord(2, commit_time=20, reads=((X, 0),), writes=(),
+                            start_time=10),
+        ]
+        assert any("non-snapshot" in v for v in snapshot_violations(bad))
+
+    def test_clean_history_passes(self):
+        from repro.sim.engine import CommittedRecord
+
+        X = ("t", "x")
+        good = [
+            CommittedRecord(1, commit_time=5, reads=(), writes=((X, 1),),
+                            start_time=0),
+            CommittedRecord(2, commit_time=20, reads=((X, 1),), writes=(),
+                            start_time=10),
+        ]
+        assert snapshot_violations(good) == []
+
+
+class TestRegistry:
+    def test_mvcc_in_registry(self):
+        from repro.cc import make_protocol
+
+        assert make_protocol("mvcc").name == "mvcc"
+        assert make_protocol("mvcc_ser").isolation == "serializable"
+
+    def test_bad_isolation_rejected(self):
+        from repro.cc.mvcc import MvccProtocol
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MvccProtocol(isolation="chaos")

@@ -1,0 +1,158 @@
+"""Finer-grained protocol semantics: commit windows, extensions, stalls."""
+
+import pytest
+
+from repro.common import SimConfig
+from repro.sim import MulticoreEngine, assert_serializable
+from repro.txn import make_transaction, read, write
+
+BASE = SimConfig(num_threads=2, op_cost=1000, cc_op_overhead=0,
+                 commit_overhead=0, dispatch_cost=0, abort_penalty=0)
+
+
+def padded(tid, before, core, after, base):
+    ops = [read("pad", base + i) for i in range(before)]
+    ops += core
+    ops += [read("pad", base + 100 + i) for i in range(after)]
+    return make_transaction(tid, ops, **{})
+
+
+def run(sim, buffers):
+    engine = MulticoreEngine(sim, record_history=True)
+    result = engine.run(buffers)
+    assert_serializable(engine.history)
+    return engine, result
+
+
+class TestSiloCommitWindow:
+    def test_reader_aborts_when_read_key_locked_by_committer(self):
+        """With a non-zero commit window, Silo's write locks are visible
+        to concurrent validators: a reader validating inside the window
+        of a writer of its read key must abort."""
+        sim = BASE.with_(cc="silo", commit_overhead=3000)
+        # Writer finishes ops at t=1000, holds the write lock during its
+        # commit window [1000, 4000); reader validates at ~2000+3000.
+        writer = make_transaction(1, [write("x", 1)])
+        reader = padded(2, 1, [read("x", 1)], 0, 1000)
+        _, result = run(sim, [[writer], [reader]])
+        assert result.counters.committed == 2
+        assert result.counters.aborts >= 1
+
+    def test_locks_released_after_commit(self):
+        sim = BASE.with_(cc="silo", commit_overhead=500)
+        a = make_transaction(1, [write("x", 1)])
+        b = make_transaction(2, [write("x", 1)])
+        # Serial on one thread: no window overlap, no aborts.
+        _, result = run(sim, [[a, b], []])
+        assert result.counters.aborts == 0
+
+
+class TestTicTocSemantics:
+    def test_rts_extension_lets_late_writer_order_after_readers(self):
+        """Readers extend rts; a later writer picks cts > rts and all
+        commit without retries."""
+        sim = BASE.with_(cc="tictoc")
+        r1 = padded(1, 0, [read("x", 1)], 2, 0)
+        r2 = padded(2, 0, [read("x", 1)], 2, 1000)
+        w = padded(3, 1, [write("x", 1)], 0, 2000)
+        engine, result = run(sim, [[r1, w], [r2]])
+        assert result.counters.aborts == 0
+        assert engine.protocol._wts[("x", 1)] >= 1
+
+    def test_read_of_twice_overwritten_version_aborts(self):
+        """Regression for the unsound shortcut hypothesis caught: a read
+        whose version was overwritten twice cannot hide behind the
+        latest wts."""
+        sim = BASE.with_(cc="tictoc")
+        # Long reader of x and y: reads y v0 early; x late.
+        reader = make_transaction(
+            1, [read("y", 1)] + [read("pad", i) for i in range(8)] + [read("x", 1)]
+        )
+        wy = make_transaction(2, [write("y", 1)])          # overwrites y early
+        wx = padded(3, 2, [write("x", 1)], 0, 1000)        # bumps x before read
+        engine, result = run(sim, [[reader], [wy, wx]])
+        assert result.counters.committed == 3
+
+    def test_write_only_transactions_never_abort(self):
+        sim = BASE.with_(cc="tictoc")
+        a = padded(1, 0, [write("x", 1)], 6, 0)
+        b = padded(2, 1, [write("x", 1)], 0, 1000)
+        _, result = run(sim, [[a], [b]])
+        assert result.counters.aborts == 0
+
+
+class TestOccDetails:
+    def test_read_only_unrelated_key_commits(self):
+        sim = BASE.with_(cc="occ")
+        reader = padded(1, 0, [read("x", 1)], 6, 0)
+        writer = padded(2, 1, [write("y", 1)], 0, 1000)
+        _, result = run(sim, [[reader], [writer]])
+        assert result.counters.aborts == 0
+
+    def test_repeated_reads_observe_one_version(self):
+        sim = BASE.with_(cc="occ")
+        reader = make_transaction(1, [read("x", 1)] * 6)
+        writer = padded(2, 1, [write("x", 1)], 0, 1000)
+        engine, result = run(sim, [[reader], [writer]])
+        rec = next(r for r in engine.history if r.tid == 1)
+        assert dict(rec.reads)[("x", 1)] in (0, 1)  # one version, not a mix
+
+
+class TestLockingWithStalls:
+    def test_locks_held_through_io_stall_block_contenders(self):
+        """Strict 2PL through the commit stall: a contender blocks (or
+        dies) until the stall completes."""
+        sim = BASE.with_(cc="nowait")
+        holder = make_transaction(1, [write("x", 1)],
+                                  io_delay_cycles=50_000)
+        contender = padded(2, 1, [write("x", 1)], 0, 1000)
+        _, result = run(sim, [[holder], [contender]])
+        # The contender retried across the whole stall window.
+        assert result.counters.aborts >= 5
+
+    def test_waitdie_blocked_time_spans_holder_runtime(self):
+        sim = BASE.with_(cc="waitdie")
+        older = padded(1, 3, [write("x", 1)], 0, 0)
+        younger = padded(2, 1, [write("x", 1)], 6, 1000)
+        _, result = run(sim, [[older], [younger]])
+        assert result.counters.blocked_cycles >= 1000
+
+
+class TestMinRuntimeAndIoOrdering:
+    def test_bound_delays_validation_not_just_completion(self):
+        """The bound extends the conflict window: a conflicting commit
+        landing inside the padded window aborts the OCC transaction."""
+        sim = BASE.with_(cc="occ")
+        bounded = make_transaction(1, [read("x", 1)],
+                                   min_runtime_cycles=20_000)
+        writer = padded(2, 3, [write("x", 1)], 0, 1000)
+        _, result = run(sim, [[bounded], [writer]])
+        assert result.counters.aborts >= 1
+
+    def test_io_stall_is_after_install(self):
+        """I/O stalls model post-commit log flush for OCC: the version
+        installs before the stall, so a reader starting during the stall
+        sees the new version and does not abort."""
+        sim = BASE.with_(cc="occ")
+        writer = make_transaction(1, [write("x", 1)],
+                                  io_delay_cycles=50_000)
+        late_reader = padded(2, 3, [read("x", 1)], 0, 1000)
+        engine, result = run(sim, [[writer], [late_reader]])
+        assert result.counters.aborts == 0
+        rec = next(r for r in engine.history if r.tid == 2)
+        assert dict(rec.reads)[("x", 1)] == 1
+
+
+class TestScanOps:
+    @pytest.mark.parametrize("cc", ["occ", "silo", "tictoc", "nowait",
+                                    "waitdie", "mvcc", "hstore"])
+    def test_scan_ops_execute_as_reads(self, cc):
+        from repro.txn import Operation, OpKind
+
+        sim = BASE.with_(cc=cc)
+        scanner = make_transaction(
+            1, [Operation(OpKind.SCAN, "x", i) for i in range(4)],
+            has_range=True)
+        writer = make_transaction(2, [write("x", 2)])
+        _, result = run(sim, [[scanner], [writer]])
+        assert result.counters.committed == 2

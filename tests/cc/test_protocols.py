@@ -1,0 +1,166 @@
+"""CC protocol semantics, exercised through controlled engine interleavings.
+
+The engine charges one (op_cost + cc_op_overhead) per operation on a
+virtual clock, so interleavings are constructed by padding transactions
+with private-key operations.  Costs are configured to round numbers to
+make the timelines easy to reason about.
+"""
+
+import pytest
+
+from repro.common import SimConfig
+from repro.sim import MulticoreEngine, assert_serializable
+from repro.txn import make_transaction, read, write
+
+SIM = SimConfig(num_threads=2, op_cost=1000, cc_op_overhead=0,
+                commit_overhead=0, dispatch_cost=0, abort_penalty=0)
+
+
+def padded(tid, ops_before, core_ops, ops_after, pad_key_base):
+    """A transaction with private padding reads around its core ops."""
+    ops = [read("pad", pad_key_base + i) for i in range(ops_before)]
+    ops += core_ops
+    ops += [read("pad", pad_key_base + 100 + i) for i in range(ops_after)]
+    return make_transaction(tid, ops)
+
+
+def run(cc, buffers):
+    engine = MulticoreEngine(SIM.with_(cc=cc), record_history=True)
+    result = engine.run(buffers)
+    assert_serializable(engine.history)
+    return result
+
+
+class TestReadWriteConflict:
+    """Long reader of x overlaps a quick writer of x.
+
+    Reader observes x at t=0..; writer commits at t=2 inside the reader's
+    window.  Classic OCC must abort the reader; TicToc commits it at a
+    timestamp before the overwrite (the paper's motivation for TicToc
+    showing the lowest #retry).
+    """
+
+    def scenario(self, cc):
+        reader = padded(1, 0, [read("x", 1)], 8, 0)      # reads x early, runs long
+        writer = padded(2, 1, [write("x", 1)], 0, 1000)  # commits at ~2 ops
+        return run(cc, [[reader], [writer]])
+
+    def test_occ_aborts_reader(self):
+        result = self.scenario("occ")
+        assert result.counters.aborts == 1
+        assert result.counters.committed == 2
+
+    def test_silo_aborts_reader(self):
+        result = self.scenario("silo")
+        assert result.counters.aborts == 1
+
+    def test_tictoc_commits_both_without_retry(self):
+        result = self.scenario("tictoc")
+        assert result.counters.aborts == 0
+        assert result.counters.committed == 2
+
+
+class TestBlindWriteWriteConflict:
+    """Two blind writers of x overlap.
+
+    OCC validates write sets too and aborts the later committer; Silo
+    locks the write set at commit only, so both commit (the overlap is
+    resolved by lock order); TicToc orders them by commit timestamp.
+    """
+
+    def scenario(self, cc):
+        slow = padded(1, 0, [write("x", 1)], 8, 0)
+        fast = padded(2, 1, [write("x", 1)], 0, 1000)
+        return run(cc, [[slow], [fast]])
+
+    def test_occ_aborts_one(self):
+        assert self.scenario("occ").counters.aborts == 1
+
+    def test_silo_commits_both(self):
+        result = self.scenario("silo")
+        assert result.counters.aborts == 0
+        assert result.counters.committed == 2
+
+    def test_tictoc_commits_both(self):
+        assert self.scenario("tictoc").counters.aborts == 0
+
+
+class TestLostUpdatePrevention:
+    """Two read-modify-writes of x must serialise under every protocol."""
+
+    @pytest.mark.parametrize("cc", ["occ", "silo", "tictoc", "nowait", "waitdie"])
+    def test_one_retry_or_block_never_both_stale(self, cc):
+        a = padded(1, 0, [read("x", 1), write("x", 1)], 6, 0)
+        b = padded(2, 1, [read("x", 1), write("x", 1)], 6, 1000)
+        result = run(cc, [[a], [b]])
+        assert result.counters.committed == 2
+        # The serializability oracle (inside run) is the real assertion;
+        # additionally the protocols must have detected the contention.
+        total_anomaly_handling = (result.counters.aborts
+                                  + result.counters.blocked_cycles)
+        assert total_anomaly_handling > 0
+
+
+class TestLockingProtocols:
+    def test_nowait_aborts_on_conflict(self):
+        holder = padded(1, 0, [write("x", 1)], 8, 0)
+        contender = padded(2, 2, [write("x", 1)], 0, 1000)
+        result = run("nowait", [[holder], [contender]])
+        assert result.counters.aborts >= 1
+        assert result.counters.committed == 2
+
+    def test_waitdie_older_waits(self):
+        # Thread 0 dispatches first -> older.  It requests a lock held by
+        # the younger transaction on thread 1: it must WAIT, not die.
+        older = padded(1, 4, [write("x", 1)], 0, 0)       # reaches x at t=4
+        younger = padded(2, 1, [write("x", 1)], 6, 1000)  # holds x from t≈1
+        result = run("waitdie", [[older], [younger]])
+        assert result.counters.aborts == 0
+        assert result.counters.blocked_cycles > 0
+
+    def test_waitdie_younger_dies(self):
+        older = padded(1, 1, [write("x", 1)], 8, 0)       # holds x early, long
+        younger = padded(2, 2, [write("x", 1)], 0, 1000)  # requests while held
+        result = run("waitdie", [[older], [younger]])
+        assert result.counters.aborts >= 1
+        assert result.counters.committed == 2
+
+    def test_shared_readers_do_not_conflict(self):
+        a = padded(1, 0, [read("x", 1)], 4, 0)
+        b = padded(2, 0, [read("x", 1)], 4, 1000)
+        for cc in ("nowait", "waitdie"):
+            result = run(cc, [[a], [b]])
+            assert result.counters.aborts == 0
+            assert result.counters.blocked_cycles == 0
+
+
+class TestContendedCounter:
+    def test_conflicts_increment_contended(self):
+        slow = padded(1, 0, [write("x", 1)], 8, 0)
+        fast = padded(2, 1, [write("x", 1)], 0, 1000)
+        engine = MulticoreEngine(SIM.with_(cc="occ"))
+        engine.run([[slow], [fast]])
+        assert engine.protocol.contended >= 1
+
+    def test_no_conflict_no_contended(self):
+        a = padded(1, 0, [write("x", 1)], 2, 0)
+        b = padded(2, 0, [write("y", 1)], 2, 1000)
+        engine = MulticoreEngine(SIM.with_(cc="occ"))
+        engine.run([[a], [b]])
+        assert engine.protocol.contended == 0
+
+
+class TestProtocolRegistry:
+    def test_make_protocol_names(self):
+        from repro.cc import PROTOCOLS, make_protocol
+
+        for name in PROTOCOLS:
+            assert make_protocol(name).name == name
+        assert make_protocol("OCC").name == "occ"  # case-insensitive
+
+    def test_unknown_protocol(self):
+        from repro.cc import make_protocol
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_protocol("mvcc-deluxe")

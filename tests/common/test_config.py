@@ -1,0 +1,106 @@
+"""Configuration validation and Table 1 defaults."""
+
+import pytest
+
+from repro.common.config import (
+    MIN_IO_CYCLES,
+    TSDEFER_DISABLED,
+    ExperimentConfig,
+    IoLatencyConfig,
+    RuntimeSkewConfig,
+    SimConfig,
+    TpccConfig,
+    TsDeferConfig,
+    YcsbConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestSimConfig:
+    def test_defaults_match_table1(self):
+        sim = SimConfig()
+        assert sim.num_threads == 20  # Table 1: #core default 20
+        assert sim.cc == "occ"        # Table 1: CC default OCC
+
+    def test_with_returns_modified_copy(self):
+        sim = SimConfig()
+        other = sim.with_(num_threads=8)
+        assert other.num_threads == 8
+        assert sim.num_threads == 20
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_threads", 0),
+        ("op_cost", 0),
+        ("cc_op_overhead", -1),
+        ("abort_penalty", -5),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            SimConfig(**{field: value})
+
+
+class TestTsDeferConfig:
+    def test_defaults_match_table1(self):
+        cfg = TsDeferConfig()
+        assert cfg.num_lookups == 2   # Table 1: #lookups default 2
+        assert cfg.defer_prob == 0.6  # Table 1: deferp% default 0.6
+        assert cfg.enabled
+
+    def test_zero_lookups_disables(self):
+        assert not TSDEFER_DISABLED.enabled
+
+    @pytest.mark.parametrize("kw", [
+        {"num_lookups": -1},
+        {"defer_prob": 1.5},
+        {"trigger": "bogus"},
+        {"lookup_scope": "bogus"},
+        {"future_depth": 0},
+        {"access_set_accuracy": 2.0},
+        {"threshold": 0},
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ConfigError):
+            TsDeferConfig(**kw)
+
+
+class TestWorkloadConfigs:
+    def test_ycsb_defaults(self):
+        cfg = YcsbConfig()
+        assert cfg.ops_per_txn == 16   # Section 6.1: 16 records per txn
+        assert cfg.theta == 0.8        # Table 1 default
+        assert cfg.read_ratio == 0.5   # YCSB-A
+
+    def test_tpcc_defaults(self):
+        cfg = TpccConfig()
+        assert cfg.num_warehouses == 40  # Table 1: #whn default
+        assert cfg.cross_pct == 0.25     # Table 1: c% default
+        assert abs(sum(cfg.mix) - 1.0) < 1e-9
+
+    def test_tpcc_rejects_bad_mix(self):
+        with pytest.raises(ConfigError):
+            TpccConfig(mix=(0.5, 0.5, 0.1, 0.0, 0.0))
+
+    def test_skew_defaults(self):
+        skew = RuntimeSkewConfig()
+        assert skew.min_t == 0.5   # Table 1: minT default 1/2
+        assert skew.p == 48        # Table 1: p default
+        assert skew.theta_t == 0.8
+
+    def test_skew_validation(self):
+        with pytest.raises(ConfigError):
+            RuntimeSkewConfig(min_t=0)
+        with pytest.raises(ConfigError):
+            RuntimeSkewConfig(p=0)
+
+    def test_io_disabled_by_default(self):
+        io = IoLatencyConfig()
+        assert not io.enabled  # Table 1 footnote: I/O disabled by default
+        assert IoLatencyConfig(l_io=50).enabled
+
+    def test_min_io_is_5000_cycles(self):
+        assert MIN_IO_CYCLES == 5_000  # Section 6.1
+
+    def test_experiment_config_with(self):
+        exp = ExperimentConfig()
+        other = exp.with_(bundle_size=10)
+        assert other.bundle_size == 10 and exp.bundle_size != 10

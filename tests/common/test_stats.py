@@ -1,0 +1,71 @@
+"""Metrics arithmetic: throughput, retry normalisation, imbalance."""
+
+from repro.common.config import CYCLES_PER_SECOND
+from repro.common.stats import Counters, RunResult, improvement_pct, reduction_pct
+
+
+def make_result(**kw):
+    base = dict(
+        name="sys", committed=1_000, makespan_cycles=CYCLES_PER_SECOND,
+        retries=100, deferrals=5, contended_accesses=7, wasted_cycles=10,
+        blocked_cycles=0, num_threads=4, thread_busy_cycles=(10, 20, 30, 40),
+    )
+    base.update(kw)
+    return RunResult(**base)
+
+
+class TestRunResult:
+    def test_throughput_is_committed_per_second(self):
+        r = make_result()
+        assert r.throughput == 1_000.0
+
+    def test_throughput_zero_makespan(self):
+        assert make_result(makespan_cycles=0).throughput == 0.0
+
+    def test_retries_per_100k(self):
+        r = make_result(committed=2_000, retries=40)
+        assert r.retries_per_100k == 2_000.0
+        assert r.retries_per_10k == 200.0
+
+    def test_retries_with_no_commits(self):
+        assert make_result(committed=0, retries=5).retries_per_100k == 0.0
+
+    def test_imbalance_ratio(self):
+        assert make_result().imbalance_ratio == 4.0
+        assert make_result(thread_busy_cycles=(5, 5)).imbalance_ratio == 1.0
+
+    def test_imbalance_with_idle_thread(self):
+        assert make_result(thread_busy_cycles=(0, 10)).imbalance_ratio == float("inf")
+
+    def test_summary_mentions_scheduled_pct(self):
+        r = make_result(scheduled_pct=0.5)
+        assert "s%=50.0" in r.summary()
+        assert "s%" not in make_result(scheduled_pct=None).summary()
+
+
+class TestCounters:
+    def test_merge_accumulates_every_field(self):
+        a = Counters(committed=1, aborts=2, deferrals=3, defer_checks=4,
+                     lookups=5, contended_accesses=6, wasted_cycles=7,
+                     blocked_cycles=8)
+        b = Counters(committed=10, aborts=20, deferrals=30, defer_checks=40,
+                     lookups=50, contended_accesses=60, wasted_cycles=70,
+                     blocked_cycles=80)
+        a.merge(b)
+        assert (a.committed, a.aborts, a.deferrals, a.defer_checks,
+                a.lookups, a.contended_accesses, a.wasted_cycles,
+                a.blocked_cycles) == (11, 22, 33, 44, 55, 66, 77, 88)
+
+
+class TestPercentages:
+    def test_improvement(self):
+        assert improvement_pct(231.0, 100.0) == 131.0
+        assert improvement_pct(100.0, 100.0) == 0.0
+
+    def test_improvement_zero_baseline(self):
+        assert improvement_pct(10.0, 0.0) == float("inf")
+        assert improvement_pct(0.0, 0.0) == 0.0
+
+    def test_reduction(self):
+        assert abs(reduction_pct(54.7, 100.0) - 45.3) < 1e-9
+        assert reduction_pct(5.0, 0.0) == 0.0

@@ -1,0 +1,82 @@
+"""Shared fixtures: the paper's Example 1 workload and small benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ExperimentConfig,
+    SimConfig,
+    TpccConfig,
+    YcsbConfig,
+    make_transaction,
+    read,
+    workload_from,
+    write,
+)
+from repro.bench.workloads import TpccGenerator, YcsbGenerator
+from repro.partition.base import PartitionPlan
+
+
+def R(key):
+    return read("x", key)
+
+
+def W(key):
+    return write("x", key)
+
+
+def example1_transactions():
+    """The five transactions of the paper's Example 1 (W0)."""
+    t1 = make_transaction(1, [R(2), W(2), R(3), W(3), R(4), W(4)])
+    t2 = make_transaction(2, [R(1), W(2), W(1)])
+    t3 = make_transaction(3, [R(3), W(3), R(2), R(3), W(2)])
+    t4 = make_transaction(4, [R(5), W(5), R(6), W(6)])
+    t5 = make_transaction(5, [R(1), W(1), R(5), W(5), R(1), W(1)])
+    return t1, t2, t3, t4, t5
+
+
+@pytest.fixture
+def w0():
+    """Example 1's workload W0."""
+    return workload_from(example1_transactions(), name="W0")
+
+
+@pytest.fixture
+def w0_plan(w0):
+    """Example 1's partitioning: P1={T1,T2,T3}, P2={T4}, R={T5}."""
+    return PartitionPlan(
+        parts=[[w0[1], w0[2], w0[3]], [w0[4]]],
+        residual=[w0[5]],
+    )
+
+
+@pytest.fixture
+def unit_sim():
+    """A cost model where each operation takes exactly one unit.
+
+    Matches the paper's Example 1 accounting (makespans 14 and 20).
+    """
+    return SimConfig(num_threads=2, op_cost=1000, cc_op_overhead=0,
+                     commit_overhead=0, dispatch_cost=0, abort_penalty=0)
+
+
+@pytest.fixture
+def small_ycsb():
+    """A contended but tiny YCSB bundle for fast engine tests."""
+    gen = YcsbGenerator(YcsbConfig(num_records=5_000, theta=0.9,
+                                   ops_per_txn=8), seed=3)
+    return gen.make_workload(120)
+
+
+@pytest.fixture
+def small_tpcc():
+    gen = TpccGenerator(TpccConfig(num_warehouses=4,
+                                   customers_per_district=20,
+                                   items=50), seed=4)
+    return gen.make_workload(100)
+
+
+@pytest.fixture
+def small_exp():
+    return ExperimentConfig(sim=SimConfig(num_threads=4))

@@ -1,0 +1,71 @@
+"""Pilot-run parameter tuning for TsDEFER."""
+
+import pytest
+
+from repro.common import ExperimentConfig, SimConfig, TsDeferConfig, YcsbConfig
+from repro.common.rng import Rng
+from repro.core.autotune import DEFAULT_GRID, TuningReport, tune_tsdefer
+from repro.bench.workloads import YcsbGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = YcsbGenerator(YcsbConfig(num_records=20_000, theta=0.85,
+                                   ops_per_txn=8), seed=21)
+    return gen.make_workload(240)
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return ExperimentConfig(sim=SimConfig(num_threads=4))
+
+
+class TestTuneTsDefer:
+    def test_returns_config_from_grid(self, workload, exp):
+        grid = [TsDeferConfig(num_lookups=1), TsDeferConfig(num_lookups=2),
+                TsDeferConfig(num_lookups=5)]
+        report = tune_tsdefer(workload, exp, grid=grid, initial_sample=60,
+                              rng=Rng(1))
+        assert report.best in grid
+
+    def test_successive_halving_structure(self, workload, exp):
+        grid = [TsDeferConfig(num_lookups=n) for n in (1, 2, 3, 5)]
+        report = tune_tsdefer(workload, exp, grid=grid, initial_sample=60,
+                              rng=Rng(2))
+        rounds = report.rounds()
+        assert rounds[0] == 60
+        # Round sizes double; candidate counts halve.
+        by_round = {r: [t for t in report.trials if t.sample_size == r]
+                    for r in rounds}
+        counts = [len(by_round[r]) for r in rounds]
+        assert counts[0] == 4
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_all_trials_measure_something(self, workload, exp):
+        report = tune_tsdefer(workload, exp,
+                              grid=[TsDeferConfig(), TsDeferConfig(defer_prob=0.4)],
+                              initial_sample=60, rng=Rng(3))
+        for trial in report.trials:
+            assert trial.throughput > 0
+
+    def test_single_candidate_short_circuits(self, workload, exp):
+        only = TsDeferConfig(num_lookups=2)
+        report = tune_tsdefer(workload, exp, grid=[only], initial_sample=60)
+        assert report.best is only
+        assert len(report.rounds()) == 1
+
+    def test_empty_grid_rejected(self, workload, exp):
+        with pytest.raises(ValueError):
+            tune_tsdefer(workload, exp, grid=[])
+
+    def test_default_grid_covers_table1_ranges(self):
+        lookups = {c.num_lookups for c in DEFAULT_GRID}
+        probs = {c.defer_prob for c in DEFAULT_GRID}
+        assert {1, 2, 5} <= lookups      # Table 1 range [1, 5]
+        assert {0.4, 0.6, 0.8} <= probs  # Table 1 range [0.4, 0.8]
+
+    def test_sample_capped_at_workload(self, workload, exp):
+        report = tune_tsdefer(workload, exp,
+                              grid=[TsDeferConfig(), TsDeferConfig(num_lookups=1)],
+                              initial_sample=10_000)
+        assert max(report.rounds()) <= len(workload)

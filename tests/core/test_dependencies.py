@@ -1,0 +1,142 @@
+"""Application-specified dependencies: structure, ordering, scheduling."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.rng import Rng
+from repro.core.dependencies import (
+    DependencySet,
+    check_schedule_dependencies,
+    topological_order,
+)
+from repro.core.tsgen import tsgen_from_scratch
+from repro.txn import OpCountCostModel, make_transaction, read, workload_from, write
+
+
+def txn(tid, key=None, n_ops=2):
+    key = tid if key is None else key
+    return make_transaction(tid, [write("t", key)] * n_ops)
+
+
+class TestDependencySet:
+    def test_add_and_query(self):
+        deps = DependencySet([(1, 2), (2, 3)])
+        assert deps.preds(3) == {2}
+        assert deps.succs(1) == {2}
+        assert len(deps) == 2
+        assert bool(deps)
+
+    def test_empty_is_falsy(self):
+        assert not DependencySet()
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(SchedulingError):
+            DependencySet([(1, 1)])
+
+    def test_cycle_rejected_and_rolled_back(self):
+        deps = DependencySet([(1, 2), (2, 3)])
+        with pytest.raises(SchedulingError, match="cycle"):
+            deps.add(3, 1)
+        # The offending edge was not kept.
+        assert deps.preds(1) == frozenset()
+
+    def test_edges_roundtrip(self):
+        edges = {(1, 2), (1, 3), (2, 3)}
+        assert set(DependencySet(edges).edges()) == edges
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        txns = [txn(3), txn(2), txn(1)]
+        deps = DependencySet([(1, 2), (2, 3)])
+        ordered = [t.tid for t in topological_order(txns, deps)]
+        assert ordered.index(1) < ordered.index(2) < ordered.index(3)
+
+    def test_stable_without_constraints(self):
+        txns = [txn(5), txn(2), txn(9)]
+        ordered = topological_order(txns, DependencySet())
+        assert [t.tid for t in ordered] == [5, 2, 9]
+
+    def test_external_tids_ignored(self):
+        txns = [txn(1), txn(2)]
+        deps = DependencySet([(99, 1), (2, 98)])
+        assert len(topological_order(txns, deps)) == 2
+
+
+class TestDependencyAwareScheduling:
+    def test_chain_is_honoured_from_scratch(self):
+        txns = [txn(i, key=i) for i in range(12)]
+        w = workload_from(txns)
+        deps = DependencySet([(0, 1), (1, 2), (2, 3), (5, 9)])
+        schedule = tsgen_from_scratch(w, 3, OpCountCostModel(), rng=Rng(1),
+                                      check=True, dependencies=deps)
+        assert check_schedule_dependencies(schedule, deps) == []
+
+    def test_cross_queue_pairs_do_not_overlap(self):
+        txns = [txn(i, key=i, n_ops=3) for i in range(10)]
+        w = workload_from(txns)
+        deps = DependencySet([(0, 5), (1, 6)])
+        schedule = tsgen_from_scratch(w, 4, OpCountCostModel(), rng=Rng(2),
+                                      check=True, dependencies=deps)
+        for before, after in deps.edges():
+            qa, qb = schedule.queue_of.get(after), schedule.queue_of.get(before)
+            if qa is None or qb is None or qa == qb:
+                continue
+            assert (schedule.intervals[before].end
+                    <= schedule.intervals[after].start)
+
+    def test_dependent_on_unscheduled_goes_residual(self):
+        # T0 and T1 conflict heavily with everything (hot key) so one of
+        # them may stay residual; its successor must then stay residual.
+        hot = [make_transaction(i, [write("t", "hot")] * 2) for i in range(8)]
+        w = workload_from(hot)
+        deps = DependencySet([(0, 1)])
+        schedule = tsgen_from_scratch(w, 2, OpCountCostModel(), rng=Rng(3),
+                                      check=True, dependencies=deps)
+        assert check_schedule_dependencies(schedule, deps) == []
+
+    def test_checker_flags_violations(self):
+        from repro.core.schedule import Interval, Schedule
+
+        a, b = txn(1), txn(2)
+        bad = Schedule(
+            queues=[[b], [a]],
+            intervals={1: Interval(0, 2), 2: Interval(0, 2)},
+            queue_of={1: 1, 2: 0},
+        )
+        deps = DependencySet([(1, 2)])
+        problems = check_schedule_dependencies(bad, deps)
+        assert problems and "T1" in problems[0]
+
+    def test_checker_accepts_residual_successor(self):
+        from repro.core.schedule import Interval, Schedule
+
+        a, b = txn(1), txn(2)
+        ok = Schedule(
+            queues=[[a], []],
+            residual=[b],
+            intervals={1: Interval(0, 2)},
+            queue_of={1: 0},
+        )
+        deps = DependencySet([(1, 2)])
+        assert check_schedule_dependencies(ok, deps) == []
+
+    def test_random_dags_always_honoured(self):
+        """Randomised mini-fuzz: schedules honour random DAGs."""
+        for seed in range(8):
+            rng = Rng(seed)
+            txns = [txn(i, key=rng.randint(0, 6), n_ops=rng.randint(1, 3))
+                    for i in range(15)]
+            w = workload_from(txns)
+            deps = DependencySet()
+            for _ in range(8):
+                a, b = rng.randint(0, 14), rng.randint(0, 14)
+                if a < b:  # forward edges only: guaranteed acyclic
+                    try:
+                        deps.add(a, b)
+                    except SchedulingError:
+                        pass
+            schedule = tsgen_from_scratch(w, 3, OpCountCostModel(),
+                                          rng=Rng(seed + 100), check=True,
+                                          dependencies=deps)
+            assert check_schedule_dependencies(schedule, deps) == []

@@ -1,0 +1,97 @@
+"""End-to-end reproduction of the paper's worked examples (Fig. 1, Ex. 1-5)."""
+
+from repro.common import SimConfig
+from repro.core.tsgen import tsgen
+from repro.sim import MulticoreEngine, assert_serializable
+from repro.txn import OpCountCostModel
+
+
+class TestFigure1:
+    """Makespans of the three executions of W0 in Fig. 1 (unit-time ops)."""
+
+    def ops_makespan(self, result):
+        return result.end_time // 1000  # unit op = 1000 cycles in unit_sim
+
+    def test_partitioned_execution_takes_20(self, w0, unit_sim):
+        """Fig 1(a): P1, P2 concurrently, then T5 alone -> 20 units."""
+        engine = MulticoreEngine(unit_sim, record_history=True)
+        r1 = engine.run([[w0[1], w0[2], w0[3]], [w0[4]]])
+        r2 = engine.run([[w0[5]], []], start_time=r1.end_time)
+        assert self.ops_makespan(r2) == 20
+        assert r1.counters.aborts == 0  # CC-free partitions really are
+        assert_serializable(engine.history)
+
+    def test_scheduled_execution_takes_14(self, w0, unit_sim):
+        """Fig 1(c): Q1=<T2,T1,T3>, Q2=<T4,T5> -> 14 units, no conflicts."""
+        engine = MulticoreEngine(unit_sim, record_history=True)
+        result = engine.run([[w0[2], w0[1], w0[3]], [w0[4], w0[5]]])
+        assert self.ops_makespan(result) == 14
+        assert result.counters.aborts == 0  # RC-free despite T2-T5 conflict
+        assert_serializable(engine.history)
+
+    def test_scheduling_beats_partitioning(self, w0, w0_plan, unit_sim):
+        """The headline of Example 3: makespan 14 vs 20."""
+        schedule = tsgen(w0, w0_plan, OpCountCostModel())
+        engine = MulticoreEngine(unit_sim)
+        result = engine.run([list(q) for q in schedule.queues])
+        assert schedule.residual == []
+        assert self.ops_makespan(result) == 14
+
+
+class TestExample5:
+    """TsDEFER's lookup arithmetic for thread-local buffers of Example 2."""
+
+    def test_two_lookups_witness_t2_t5_conflict_for_certain(self, w0):
+        from repro.common.config import TsDeferConfig
+        from repro.common.rng import Rng
+        from repro.core.tsdefer import TsDefer
+
+        # Thread 2 is executing T5 (write set {x1, x5}); thread 1 is about
+        # to run T2.  With #lookups=2 and deferp=100%, T2 must be deferred
+        # for certain: both items get probed and x1 witnesses the conflict.
+        for seed in range(10):
+            ts = TsDefer(TsDeferConfig(num_lookups=2, defer_prob=1.0,
+                                       stale_prob=0.0, future_depth=1),
+                         num_threads=2, rng=Rng(seed))
+            ts.on_dispatch(1, w0[5], now=0)
+            defer, _cost = ts.filter(0, w0[2], now=0)
+            assert defer
+
+    def test_one_lookup_witnesses_half_the_time(self, w0):
+        from repro.common.config import TsDeferConfig
+        from repro.common.rng import Rng
+        from repro.core.tsdefer import TsDefer
+
+        hits = 0
+        trials = 400
+        for seed in range(trials):
+            ts = TsDefer(TsDeferConfig(num_lookups=1, defer_prob=1.0,
+                                       stale_prob=0.0, future_depth=1),
+                         num_threads=2, rng=Rng(seed))
+            ts.on_dispatch(1, w0[5], now=0)
+            defer, _ = ts.filter(0, w0[2], now=0)
+            hits += defer
+        # Paper: one lookup has a 50% chance (x1 of {x1, x5}).
+        assert 0.4 <= hits / trials <= 0.6
+
+
+class TestExample2Deferment:
+    """Example 2/Fig 1(d): deferring T2 avoids its retry."""
+
+    def test_deferred_t2_commits_without_retry(self, w0, unit_sim):
+        from repro.common.config import TsDeferConfig
+        from repro.common.rng import Rng
+        from repro.core.tsdefer import TsDefer
+
+        filt = TsDefer(TsDeferConfig(num_lookups=2, defer_prob=1.0,
+                                     stale_prob=0.0, future_depth=1),
+                       num_threads=2, rng=Rng(0))
+        engine = MulticoreEngine(unit_sim, dispatch_filter=filt,
+                                 progress_hooks=filt, record_history=True)
+        filt.table.bind_buffers(engine.buffer_of)
+        result = engine.run([[w0[1], w0[2], w0[3]], [w0[4], w0[5]]])
+        assert result.counters.committed == 5
+        assert_serializable(engine.history)
+        # T2 was flagged while T5 was active; deferring it avoids conflict.
+        assert result.counters.deferrals >= 1
+        assert result.counters.aborts == 0

@@ -1,0 +1,123 @@
+"""The lock-free progress-tracking structure's observable contract."""
+
+from repro.common.rng import Rng
+from repro.core.progress_table import ProgressTable
+from repro.txn import make_transaction, read, write
+
+
+def txn(tid, write_keys):
+    ops = [write("t", k) for k in write_keys] or [read("t", 0)]
+    return make_transaction(tid, ops)
+
+
+class TestMaintenance:
+    def test_dispatch_sets_active(self):
+        table = ProgressTable(2, Rng(0))
+        t = txn(1, [1, 2])
+        table.on_dispatch(0, t)
+        assert table.active(0) is t
+        assert table.active(1) is None
+
+    def test_commit_clears_active(self):
+        table = ProgressTable(2, Rng(0))
+        t = txn(1, [1])
+        table.on_dispatch(0, t)
+        table.on_commit(0, t)
+        assert table.active(0) is None
+
+    def test_dispatch_remembers_previous(self):
+        table = ProgressTable(2, Rng(0), stale_prob=1.0)
+        old, new = txn(1, [1]), txn(2, [2])
+        table.on_dispatch(0, old)
+        table.on_dispatch(0, new)
+        # With certain staleness, probes from thread 1 observe `old`.
+        items = table.probe(1, 1)
+        assert items == [("t", 1)]
+
+
+class TestProbe:
+    def test_probe_returns_remote_write_items(self):
+        table = ProgressTable(3, Rng(1))
+        table.on_dispatch(0, txn(1, [10, 11]))
+        table.on_dispatch(2, txn(2, [20]))
+        items = table.probe(1, 2, scope="per_thread")
+        assert set(items) <= {("t", 10), ("t", 11), ("t", 20)}
+        assert items  # both threads active: something observed
+
+    def test_probe_never_sees_own_thread(self):
+        table = ProgressTable(2, Rng(2))
+        table.on_dispatch(0, txn(1, [10]))
+        assert table.probe(0, 5) == []
+
+    def test_probe_empty_when_idle(self):
+        table = ProgressTable(4, Rng(3))
+        assert table.probe(0, 3) == []
+
+    def test_global_scope_caps_total_probes(self):
+        table = ProgressTable(5, Rng(4))
+        for j in range(1, 5):
+            table.on_dispatch(j, txn(j, [j * 10, j * 10 + 1]))
+        items = table.probe(0, 3, scope="global")
+        assert len(items) == 3
+
+    def test_global_scope_samples_without_replacement(self):
+        table = ProgressTable(2, Rng(5))
+        table.on_dispatch(1, txn(1, [1, 2]))
+        # Two lookups over a two-item write set return both items —
+        # the certainty case of the paper's Example 5.
+        items = table.probe(0, 2, scope="global")
+        assert sorted(items) == [("t", 1), ("t", 2)]
+
+    def test_per_thread_scope_probes_every_thread(self):
+        table = ProgressTable(4, Rng(6))
+        for j in range(1, 4):
+            table.on_dispatch(j, txn(j, [j]))
+        items = table.probe(0, 1, scope="per_thread")
+        assert sorted(items) == [("t", 1), ("t", 2), ("t", 3)]
+
+    def test_future_depth_observes_remote_queue(self):
+        upcoming = {1: [txn(9, [99])]}
+        table = ProgressTable(2, Rng(7),
+                              buffer_reader=lambda j: upcoming.get(j, []))
+        table.on_dispatch(1, txn(1, [10]))
+        deep = table.probe(0, 2, scope="per_thread", future_depth=2)
+        assert ("t", 99) in deep or ("t", 10) in deep
+        shallow_only = {x for _ in range(20)
+                        for x in table.probe(0, 2, scope="per_thread",
+                                             future_depth=1)}
+        assert ("t", 99) not in shallow_only
+
+    def test_bind_buffers_after_construction(self):
+        table = ProgressTable(2, Rng(8))
+        table.bind_buffers(lambda j: [txn(5, [55])])
+        table.on_dispatch(1, txn(1, [10]))
+        seen = set()
+        for _ in range(30):
+            seen.update(table.probe(0, 2, scope="per_thread", future_depth=2))
+        assert ("t", 55) in seen
+
+
+class TestAccessSetAccuracy:
+    def test_full_accuracy_sees_whole_write_set(self):
+        table = ProgressTable(2, Rng(9), accuracy=1.0)
+        t = txn(1, list(range(10)))
+        assert len(table.visible_write_set(t)) == 10
+
+    def test_partial_accuracy_truncates(self):
+        table = ProgressTable(2, Rng(10), accuracy=0.5)
+        t = txn(1, list(range(10)))
+        visible = table.visible_write_set(t)
+        assert len(visible) == 5
+        assert set(visible) <= t.write_set
+
+    def test_visible_set_is_memoised_and_deterministic(self):
+        t = txn(1, list(range(8)))
+        t_copy = txn(1, list(range(8)))
+        a = ProgressTable(2, Rng(11), accuracy=0.5).visible_write_set(t)
+        b = ProgressTable(2, Rng(12), accuracy=0.5).visible_write_set(t_copy)
+        assert a == b  # keyed by tid, independent of table rng
+
+    def test_accuracy_rounds_up(self):
+        table = ProgressTable(2, Rng(13), accuracy=0.1)
+        t = txn(1, [1, 2, 3])
+        assert len(table.visible_write_set(t)) == 1  # ceil(0.3)

@@ -1,0 +1,54 @@
+"""Interval overlap and the ckRCF procedure."""
+
+from repro.core.runtime_conflict import ck_rcf, intervals_overlap
+from repro.core.schedule import Interval
+from repro.txn import ConflictGraph, make_transaction, read, write
+
+
+class TestOverlap:
+    def test_basic_overlap(self):
+        assert intervals_overlap(0, 10, 5, 15)
+        assert intervals_overlap(5, 15, 0, 10)
+        assert intervals_overlap(0, 10, 2, 3)  # containment
+
+    def test_half_open_touching_is_disjoint(self):
+        assert not intervals_overlap(0, 10, 10, 20)
+        assert not intervals_overlap(10, 20, 0, 10)
+
+    def test_disjoint(self):
+        assert not intervals_overlap(0, 5, 6, 9)
+
+    def test_identical(self):
+        assert intervals_overlap(3, 7, 3, 7)
+
+
+class TestCkRcf:
+    def setup_method(self):
+        # T1 writes x; T2 reads x (conflict); T3 touches y only.
+        self.t1 = make_transaction(1, [write("t", "x")])
+        self.t2 = make_transaction(2, [read("t", "x")])
+        self.t3 = make_transaction(3, [read("t", "y")])
+        self.graph = ConflictGraph([self.t1, self.t2, self.t3])
+
+    def test_conflicting_overlap_in_other_queue_fails(self):
+        intervals = {1: Interval(0, 10)}
+        queue_of = {1: 0}
+        assert not ck_rcf(2, 5, 15, 1, self.graph, intervals, queue_of)
+
+    def test_conflicting_but_disjoint_time_passes(self):
+        intervals = {1: Interval(0, 10)}
+        queue_of = {1: 0}
+        assert ck_rcf(2, 10, 20, 1, self.graph, intervals, queue_of)
+
+    def test_same_queue_conflict_is_allowed(self):
+        intervals = {1: Interval(0, 10)}
+        queue_of = {1: 0}
+        assert ck_rcf(2, 5, 15, 0, self.graph, intervals, queue_of)
+
+    def test_non_conflicting_overlap_passes(self):
+        intervals = {1: Interval(0, 10)}
+        queue_of = {1: 0}
+        assert ck_rcf(3, 0, 10, 1, self.graph, intervals, queue_of)
+
+    def test_unscheduled_neighbors_are_ignored(self):
+        assert ck_rcf(2, 0, 10, 1, self.graph, {}, {})

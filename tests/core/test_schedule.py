@@ -1,0 +1,82 @@
+"""Schedule datatype invariants and bookkeeping."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.core.schedule import Interval, Schedule
+from repro.txn import ConflictGraph, make_transaction, read, write
+
+
+def txn(tid, key):
+    return make_transaction(tid, [write("t", key)])
+
+
+class TestInterval:
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 6))
+        assert not Interval(0, 5).overlaps(Interval(5, 6))
+
+
+def simple_schedule():
+    a, b, c = txn(1, "x"), txn(2, "x"), txn(3, "y")
+    return Schedule(
+        queues=[[a], [c, b]],
+        residual=[],
+        intervals={1: Interval(0, 5), 3: Interval(0, 4), 2: Interval(5, 9)},
+        queue_of={1: 0, 3: 1, 2: 1},
+        merged_residual=1,
+        input_residual=2,
+    ), ConflictGraph([a, b, c])
+
+
+class TestSchedule:
+    def test_counts(self):
+        schedule, _ = simple_schedule()
+        assert schedule.k == 2
+        assert len(schedule) == 3
+
+    def test_makespan_and_loads(self):
+        schedule, _ = simple_schedule()
+        assert schedule.queue_loads() == [5, 9]
+        assert schedule.makespan() == 9
+
+    def test_scheduled_pct(self):
+        schedule, _ = simple_schedule()
+        assert schedule.scheduled_pct == 0.5
+        empty_input = Schedule(queues=[[]], input_residual=0)
+        assert empty_input.scheduled_pct == 1.0
+
+    def test_rc_free_passes_for_disjoint_conflicts(self):
+        schedule, graph = simple_schedule()
+        schedule.assert_rc_free(graph)  # T1 [0,5) vs T2 [5,9): disjoint
+
+    def test_rc_free_detects_overlap(self):
+        schedule, graph = simple_schedule()
+        schedule.intervals[2] = Interval(3, 7)  # now overlaps T1 [0,5)
+        with pytest.raises(SchedulingError, match="runtime conflict"):
+            schedule.assert_rc_free(graph)
+
+    def test_total_order_validation(self):
+        schedule, _ = simple_schedule()
+        schedule.validate_total_order()
+        schedule.intervals[2] = Interval(2, 6)  # regresses behind T3's end
+        with pytest.raises(SchedulingError, match="regression"):
+            schedule.validate_total_order()
+
+    def test_total_order_requires_intervals(self):
+        schedule, _ = simple_schedule()
+        del schedule.intervals[2]
+        with pytest.raises(SchedulingError, match="no interval"):
+            schedule.validate_total_order()
+
+    def test_refines(self):
+        schedule, _ = simple_schedule()
+        a, b, c = (schedule.queues[0][0], schedule.queues[1][1],
+                   schedule.queues[1][0])
+        assert schedule.refines([[a], [c]])
+        assert schedule.refines([[a], [c, b]])
+        assert not schedule.refines([[c], [a]])
+        assert not schedule.refines([[a]])  # wrong k
+
+    def test_empty_schedule_makespan(self):
+        assert Schedule(queues=[[], []]).makespan() == 0

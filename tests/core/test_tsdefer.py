@@ -1,0 +1,120 @@
+"""TsDEFER: trigger rules, deferral probability, caps, costs."""
+
+from repro.common.config import TSDEFER_DISABLED, TsDeferConfig
+from repro.common.rng import Rng
+from repro.core.tsdefer import TsDefer
+from repro.txn import IsolationLevel, make_transaction, read, write
+
+
+def txn(tid, writes=(), reads=()):
+    ops = [write("t", k) for k in writes] + [read("t", k) for k in reads]
+    return make_transaction(tid, ops)
+
+
+def make_defer(**kw):
+    defaults = dict(num_lookups=2, defer_prob=1.0, stale_prob=0.0,
+                    future_depth=1)
+    defaults.update(kw)
+    return TsDefer(TsDeferConfig(**defaults), num_threads=2, rng=Rng(1))
+
+
+class TestWitnessTrigger:
+    def test_conflicting_active_txn_triggers_deferral(self):
+        ts = make_defer()
+        ts.on_dispatch(1, txn(9, writes=[1, 2]), now=0)
+        # Candidate reads key 1 and 2: both probes witness the conflict.
+        defer, cost = ts.filter(0, txn(5, reads=[1, 2]), now=0)
+        assert defer
+        assert cost > 0
+        assert ts.stats.deferrals == 1
+
+    def test_disjoint_active_txn_passes(self):
+        ts = make_defer()
+        ts.on_dispatch(1, txn(9, writes=[100, 200]), now=0)
+        defer, _cost = ts.filter(0, txn(5, reads=[1, 2]), now=0)
+        assert not defer
+        assert ts.stats.conflicts_witnessed == 0
+
+    def test_idle_system_passes_cheaply(self):
+        ts = make_defer()
+        defer, cost = ts.filter(0, txn(5, reads=[1]), now=0)
+        assert not defer and cost == 0
+
+    def test_snapshot_isolation_checks_writes_only(self):
+        ts = TsDefer(TsDeferConfig(num_lookups=2, defer_prob=1.0,
+                                   stale_prob=0.0, future_depth=1),
+                     num_threads=2, rng=Rng(2),
+                     isolation=IsolationLevel.SNAPSHOT)
+        ts.on_dispatch(1, txn(9, writes=[1]), now=0)
+        # Candidate only READS key 1: under SI that is not a conflict.
+        defer, _ = ts.filter(0, txn(5, reads=[1]), now=0)
+        assert not defer
+        # Candidate WRITES key 1: ww conflict, deferred.
+        defer, _ = ts.filter(0, txn(6, writes=[1]), now=0)
+        assert defer
+
+
+class TestDuplicatesTrigger:
+    def test_duplicate_probes_trigger(self):
+        ts = make_defer(trigger="duplicates", num_lookups=3)
+        # Remote active txn with a single-item write set: probes repeat it.
+        ts.on_dispatch(1, txn(9, writes=[1]), now=0)
+        defer, _ = ts.filter(0, txn(5, reads=[100]), now=0)
+        assert not defer  # 1 probe max from a 1-item set: no duplicates
+        # global scope with replacement is impossible here; use a second
+        # remote thread writing the same item to create duplicates.
+        ts2 = TsDefer(TsDeferConfig(num_lookups=2, defer_prob=1.0,
+                                    stale_prob=0.0, trigger="duplicates",
+                                    future_depth=1),
+                      num_threads=3, rng=Rng(3))
+        ts2.on_dispatch(1, txn(8, writes=[1]), now=0)
+        ts2.on_dispatch(2, txn(9, writes=[1]), now=0)
+        defer, _ = ts2.filter(0, txn(5, reads=[100]), now=0)
+        assert defer  # both threads' probes return item 1 -> duplicate
+
+
+class TestKnobs:
+    def test_disabled_filter_is_free(self):
+        ts = TsDefer(TSDEFER_DISABLED, num_threads=2, rng=Rng(4))
+        ts.on_dispatch(1, txn(9, writes=[1]), now=0)
+        assert ts.filter(0, txn(5, reads=[1]), now=0) == (False, 0)
+        assert ts.stats.checks == 0
+
+    def test_defer_prob_zero_never_defers(self):
+        ts = make_defer(defer_prob=0.0)
+        ts.on_dispatch(1, txn(9, writes=[1]), now=0)
+        for _ in range(20):
+            defer, _ = ts.filter(0, txn(5, reads=[1]), now=0)
+            assert not defer
+        assert ts.stats.conflicts_witnessed == 20
+
+    def test_max_defers_caps_each_transaction(self):
+        ts = make_defer(max_defers=3)
+        ts.on_dispatch(1, txn(9, writes=[1]), now=0)
+        candidate = txn(5, reads=[1])
+        outcomes = [ts.filter(0, candidate, now=0)[0] for _ in range(10)]
+        assert sum(outcomes) == 3
+        assert ts.stats.max_defer_hits == 7
+
+    def test_threshold_two_needs_two_witnesses(self):
+        ts = make_defer(threshold=2, num_lookups=2)
+        ts.on_dispatch(1, txn(9, writes=[1, 2]), now=0)
+        # Candidate shares only one key: at most one witness per check.
+        defer, _ = ts.filter(0, txn(5, reads=[1]), now=0)
+        assert not defer
+        # Shares both keys: both probes witness.
+        defer, _ = ts.filter(0, txn(6, reads=[1, 2]), now=0)
+        assert defer
+
+    def test_lookup_cost_accounted(self):
+        ts = make_defer(lookup_cost=100, defer_cost=1_000)
+        ts.on_dispatch(1, txn(9, writes=[1, 2]), now=0)
+        defer, cost = ts.filter(0, txn(5, reads=[1, 2]), now=0)
+        assert defer
+        assert cost == 2 * 100 + 1_000
+
+    def test_stats_lookups_counted(self):
+        ts = make_defer()
+        ts.on_dispatch(1, txn(9, writes=[1, 2, 3]), now=0)
+        ts.filter(0, txn(5, reads=[50]), now=0)
+        assert ts.stats.lookups == 2

@@ -1,0 +1,94 @@
+"""Directional end-to-end checks: the paper's headline effects, loosely.
+
+These run real (small) experiments and assert the *direction* of the
+paper's findings with generous margins, so they stay robust to seeds.
+"""
+
+import pytest
+
+from repro.bench.runner import run_system
+from repro.common import (
+    ExperimentConfig,
+    RuntimeSkewConfig,
+    SimConfig,
+    TsDeferConfig,
+    YcsbConfig,
+)
+from repro.core.tskd import TSKD
+from repro.partition import StrifePartitioner
+from repro.bench.workloads import YcsbGenerator, apply_runtime_skew
+
+
+def skewed_ycsb(theta=0.8, n=400, seed=0, sim=None):
+    gen = YcsbGenerator(YcsbConfig(num_records=2_000_000, theta=theta,
+                                   ops_per_txn=16), seed=seed)
+    w = gen.make_workload(n)
+    apply_runtime_skew(w, RuntimeSkewConfig(), sim or SimConfig())
+    return w
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return ExperimentConfig(sim=SimConfig(num_threads=8))
+
+
+@pytest.fixture(scope="module")
+def workloads(exp):
+    return [skewed_ycsb(seed=s, sim=exp.sim) for s in (0, 1, 2)]
+
+
+def avg_throughput(workloads, system_factory, exp):
+    total = 0.0
+    for w in workloads:
+        total += run_system(w, system_factory(), exp).throughput
+    return total / len(workloads)
+
+
+class TestSchedulingBeatsPartitioning:
+    def test_tskd_s_at_least_matches_strife(self, workloads, exp):
+        base = avg_throughput(workloads, StrifePartitioner, exp)
+        ours = avg_throughput(workloads, lambda: TSKD.instance("S"), exp)
+        assert ours >= base * 0.95  # direction, with seed noise margin
+
+    def test_tskd_reduces_queue_conflicts(self, workloads, exp):
+        """The RC-free queues must retry far less than the whole run."""
+        for w in workloads:
+            r = run_system(w, TSKD.instance("S"), exp)
+            assert r.queue_retries is not None
+            assert r.queue_retries <= max(5, r.retries)
+
+    def test_schedule_covers_most_residual(self, workloads, exp):
+        for w in workloads:
+            r = run_system(w, TSKD.instance("S"), exp)
+            assert r.scheduled_pct >= 0.3  # paper: 20.8% - 69.7%
+
+
+class TestDefermentHelps:
+    def test_tsdefer_reduces_retries(self, workloads, exp):
+        base = sum(run_system(w, "dbcc", exp).retries for w in workloads)
+        ours = sum(
+            run_system(w, TSKD.instance("CC"), exp).retries for w in workloads
+        )
+        assert ours <= base  # fewer (or equal) retries with deferment
+
+    def test_disabled_tsdefer_equals_dbcc(self, workloads, exp):
+        from repro.common import TSDEFER_DISABLED
+
+        for w in workloads[:1]:
+            base = run_system(w, "dbcc", exp)
+            off = run_system(w, TSKD.instance("CC", tsdefer=TSDEFER_DISABLED), exp)
+            assert off.makespan_cycles == base.makespan_cycles
+            assert off.retries == base.retries
+
+
+class TestContentionTrend:
+    def test_throughput_falls_with_theta(self, exp):
+        """Absolute throughput must fall as contention rises (every
+        system; the paper's Fig 4a/5a x-axis shape)."""
+        lo = skewed_ycsb(theta=0.6, seed=5, sim=exp.sim)
+        hi = skewed_ycsb(theta=0.95, seed=5, sim=exp.sim)
+        for system in ("dbcc",):
+            r_lo = run_system(lo, system, exp)
+            r_hi = run_system(hi, system, exp)
+            assert r_hi.throughput < r_lo.throughput
+            assert r_hi.retries_per_100k > r_lo.retries_per_100k

@@ -1,0 +1,70 @@
+"""TPC-C structural consistency after concurrent execution."""
+
+import pytest
+
+from repro.bench.runner import engine_of, run_system
+from repro.bench.workloads import TpccGenerator, assert_tpcc_consistent, tpcc_violations
+from repro.common import ExperimentConfig, SimConfig, TpccConfig
+from repro.core.tskd import TSKD
+from repro.partition import StrifePartitioner
+from repro.storage import Database
+
+
+def small_cfg():
+    return TpccConfig(num_warehouses=4, districts_per_warehouse=3,
+                      customers_per_district=20, items=50)
+
+
+def execute(system, cc="occ", n=120, seed=31):
+    gen = TpccGenerator(small_cfg(), seed=seed)
+    w = gen.make_workload(n)
+    db = Database()
+    gen.populate(db)
+    exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc=cc))
+    result = run_system(w, system, exp, record_history=True, db=db)
+    engine = engine_of(result)
+    committed = [rec.tid for rec in engine.history]
+    return db, committed, w, result
+
+
+class TestConsistencyAfterExecution:
+    @pytest.mark.parametrize("cc", ["occ", "silo", "tictoc", "nowait"])
+    def test_dbcc_execution_is_consistent(self, cc):
+        db, committed, w, result = execute("dbcc", cc=cc)
+        assert result.committed == len(w)
+        assert_tpcc_consistent(db, committed, list(w))
+
+    def test_tskd_execution_is_consistent(self):
+        db, committed, w, _ = execute(TSKD.instance("S"))
+        assert_tpcc_consistent(db, committed, list(w))
+
+    def test_partitioner_execution_is_consistent(self):
+        db, committed, w, _ = execute(StrifePartitioner())
+        assert_tpcc_consistent(db, committed, list(w))
+
+
+class TestCheckerDetectsCorruption:
+    def test_missing_order_line_flagged(self):
+        db, committed, w, _ = execute("dbcc", n=60, seed=32)
+        # Corrupt: delete one order line.
+        ol_table = db.table("order_line")
+        victim = next(iter(ol_table.keys()))
+        ol_table.delete(victim)
+        problems = tpcc_violations(db, committed, list(w))
+        assert any("lines" in p or "no order lines" in p for p in problems)
+
+    def test_phantom_order_flagged(self):
+        db, committed, w, _ = execute("dbcc", n=60, seed=33)
+        db.table("orders").insert((1, 1, 9_999), {"c_id": 1})
+        problems = tpcc_violations(db, committed, list(w))
+        assert problems  # count mismatch and/or missing lines
+
+    def test_lost_history_flagged(self):
+        db, committed, w, _ = execute("dbcc", n=60, seed=34)
+        h = db.table("history")
+        inserted = [k for k in h.keys() if h.get(k).last_writer != -1]
+        if not inserted:
+            pytest.skip("no Payment committed in this sample")
+        h.delete(inserted[0])
+        problems = tpcc_violations(db, committed, list(w))
+        assert any("history" in p for p in problems)

@@ -1,0 +1,92 @@
+"""Partition plans and residual extraction."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.partition.base import PartitionPlan, extract_residual
+from repro.txn import AccessSetSizeCostModel, ConflictGraph, make_transaction, read, write
+
+
+def txn(tid, reads=(), writes=()):
+    ops = [read("x", k) for k in reads] + [write("x", k) for k in writes]
+    return make_transaction(tid, ops)
+
+
+class TestPartitionPlan:
+    def test_counts_and_k(self):
+        plan = PartitionPlan(parts=[[txn(1, reads=[1])], [txn(2, writes=[9])]],
+                             residual=[txn(3, reads=[4])])
+        assert plan.k == 2 and len(plan) == 3
+
+    def test_loads_and_imbalance(self):
+        a = txn(1, reads=[1, 2, 3, 4])
+        b = txn(2, reads=[5])
+        plan = PartitionPlan(parts=[[a], [b]])
+        cost = AccessSetSizeCostModel()
+        assert plan.loads(cost) == [4, 1]
+        assert plan.imbalance(cost) == 4.0
+
+    def test_part_of(self):
+        a, b, c = txn(1, reads=[1]), txn(2, reads=[2]), txn(3, reads=[3])
+        plan = PartitionPlan(parts=[[a], [b]], residual=[c])
+        assert plan.part_of() == {1: 0, 2: 1, 3: -1}
+
+    def test_cross_conflicts_counts_cross_edges_only(self):
+        a = txn(1, writes=[1])
+        b = txn(2, reads=[1])     # conflicts with a
+        c = txn(3, writes=[1])    # conflicts with a and b
+        graph = ConflictGraph([a, b, c])
+        same_part = PartitionPlan(parts=[[a, b, c], []])
+        assert same_part.cross_conflicts(graph) == 0
+        split = PartitionPlan(parts=[[a], [b, c]])
+        assert split.cross_conflicts(graph) == 2  # a-b and a-c
+
+    def test_validate_detects_duplicates_and_gaps(self):
+        from repro.txn import workload_from
+
+        a, b = txn(1, reads=[1]), txn(2, reads=[2])
+        w = workload_from([a, b])
+        PartitionPlan(parts=[[a], [b]]).validate(w)  # fine
+        with pytest.raises(SchedulingError):
+            PartitionPlan(parts=[[a], [a]]).validate(w)
+        with pytest.raises(SchedulingError):
+            PartitionPlan(parts=[[a], []]).validate(w)
+        with pytest.raises(SchedulingError):
+            PartitionPlan(parts=[[a]], residual=[a]).validate(w)
+
+
+class TestExtractResidual:
+    def test_no_cross_edges_is_noop(self):
+        a, b = txn(1, writes=[1]), txn(2, writes=[2])
+        graph = ConflictGraph([a, b])
+        plan = extract_residual([[a], [b]], graph)
+        assert plan.residual == []
+        assert [len(p) for p in plan.parts] == [1, 1]
+
+    def test_result_has_no_cross_conflicts(self):
+        txns = [txn(i, writes=[i % 4]) for i in range(12)]
+        graph = ConflictGraph(txns)
+        parts = [txns[0:4], txns[4:8], txns[8:12]]
+        plan = extract_residual(parts, graph)
+        assert plan.cross_conflicts(graph) == 0
+
+    def test_hub_removal_is_greedy(self):
+        # One hub conflicting with everyone across partitions: removing it
+        # alone should clear all cross edges.
+        hub = txn(0, writes=[1])
+        others = [txn(i, reads=[1]) for i in range(1, 7)]
+        graph = ConflictGraph([hub] + others)
+        parts = [[hub, others[0]], [others[1], others[2]],
+                 [others[3], others[4], others[5]]]
+        plan = extract_residual(parts, graph)
+        assert [t.tid for t in plan.residual] == [0]
+        assert plan.cross_conflicts(graph) == 0
+
+    def test_everything_preserved(self):
+        txns = [txn(i, writes=[i % 3]) for i in range(9)]
+        graph = ConflictGraph(txns)
+        plan = extract_residual([txns[:5], txns[5:]], graph)
+        kept = {t.tid for p in plan.parts for t in p} | {
+            t.tid for t in plan.residual
+        }
+        assert kept == set(range(9))

@@ -1,0 +1,83 @@
+"""Property-based tests on conflicts and the conflict graph."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.txn import (
+    ConflictGraph,
+    IsolationLevel,
+    conflict_keys,
+    in_conflict,
+    make_transaction,
+    read,
+    write,
+)
+
+
+@st.composite
+def transactions(draw, n_keys=12, max_ops=6):
+    """A small random transaction over a bounded key space."""
+    tid = draw(st.integers(min_value=0, max_value=10_000))
+    n_ops = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for _ in range(n_ops):
+        key = draw(st.integers(min_value=0, max_value=n_keys - 1))
+        if draw(st.booleans()):
+            ops.append(write("t", key))
+        else:
+            ops.append(read("t", key))
+    return make_transaction(tid, ops)
+
+
+@st.composite
+def workloads(draw, max_txns=12):
+    n = draw(st.integers(min_value=2, max_value=max_txns))
+    txns = [draw(transactions()) for _ in range(n)]
+    # Re-number to guarantee unique tids.
+    return [make_transaction(i, t.ops) for i, t in enumerate(txns)]
+
+
+class TestConflictProperties:
+    @given(transactions(), transactions())
+    def test_conflict_is_symmetric(self, a, b):
+        for iso in IsolationLevel:
+            assert in_conflict(a, b, iso) == in_conflict(b, a, iso)
+
+    @given(transactions())
+    def test_never_conflicts_with_self(self, t):
+        for iso in IsolationLevel:
+            assert not in_conflict(t, t, iso)
+
+    @given(transactions(), transactions())
+    def test_si_conflicts_imply_ser_conflicts(self, a, b):
+        if in_conflict(a, b, IsolationLevel.SNAPSHOT):
+            assert in_conflict(a, b, IsolationLevel.SERIALIZABLE)
+
+    @given(transactions(), transactions())
+    def test_conflict_iff_conflict_keys_nonempty(self, a, b):
+        for iso in IsolationLevel:
+            assert in_conflict(a, b, iso) == bool(conflict_keys(a, b, iso))
+
+    @given(transactions(), transactions())
+    def test_conflict_keys_within_both_access_sets(self, a, b):
+        keys = conflict_keys(a, b)
+        assert keys <= a.access_set
+        assert keys <= b.access_set
+
+
+class TestConflictGraphProperties:
+    @settings(max_examples=40)
+    @given(workloads())
+    def test_graph_matches_pairwise_definition(self, txns):
+        graph = ConflictGraph(txns)
+        for a in txns:
+            expected = {b.tid for b in txns if in_conflict(a, b)}
+            assert graph.neighbors(a.tid) == expected
+
+    @settings(max_examples=40)
+    @given(workloads())
+    def test_graph_edges_symmetric(self, txns):
+        graph = ConflictGraph(txns)
+        for a in txns:
+            for b in graph.neighbors(a.tid):
+                assert a.tid in graph.neighbors(b)

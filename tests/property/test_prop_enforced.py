@@ -1,0 +1,97 @@
+"""Property: enforced CC-free execution is safe regardless of estimates.
+
+The dependency gate upholds the schedule's pairwise order of conflicting
+transactions, so even when every runtime estimate is wrong (transactions
+secretly carry random runtime bounds the scheduler never saw), the
+CC-free execution must commit everything, abort nothing, and stay
+conflict-serializable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import SimConfig
+from repro.common.rng import Rng
+from repro.core.enforced import ScheduleEnforcer
+from repro.core.tsgen import tsgen_from_scratch
+from repro.sim import MulticoreEngine, assert_serializable
+from repro.txn import OpCountCostModel, make_transaction, read, workload_from, write
+
+
+@st.composite
+def contended_workload(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    n_keys = draw(st.integers(min_value=2, max_value=6))
+    txns = []
+    for tid in range(n):
+        n_ops = draw(st.integers(min_value=1, max_value=4))
+        ops = []
+        for _ in range(n_ops):
+            key = draw(st.integers(min_value=0, max_value=n_keys - 1))
+            ops.append(write("t", key) if draw(st.booleans()) else read("t", key))
+        txns.append(make_transaction(tid, ops))
+    return workload_from(txns)
+
+
+@settings(max_examples=40, deadline=None)
+@given(contended_workload(),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=30))
+def test_enforced_execution_safe_under_wrong_estimates(w, k, seed):
+    graph = w.conflict_graph()
+    schedule = tsgen_from_scratch(w, k, OpCountCostModel(), graph=graph,
+                                  rng=Rng(seed), check=True)
+    # Sabotage the estimates: real runtimes are random, never seen by
+    # the scheduler (bounds assigned AFTER scheduling).
+    rng = Rng(seed + 1000)
+    for t in w:
+        t.min_runtime_cycles = rng.randint(0, 15_000)
+
+    enforcer = ScheduleEnforcer(schedule, graph)
+    sim = SimConfig(num_threads=k, cc="none", op_cost=500,
+                    cc_op_overhead=0, commit_overhead=0, dispatch_cost=10,
+                    abort_penalty=0)
+    engine = MulticoreEngine(sim, dispatch_gate=enforcer,
+                             progress_hooks=enforcer, record_history=True)
+    enforcer.bind(engine)
+    result = engine.run([list(q) for q in schedule.queues])
+
+    scheduled = sum(len(q) for q in schedule.queues)
+    assert result.counters.committed == scheduled
+    assert result.counters.aborts == 0           # no CC, and none needed
+    assert_serializable(engine.history)
+    # Restore shared transaction objects (hypothesis may reuse them).
+    for t in w:
+        t.min_runtime_cycles = 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(contended_workload(), st.integers(min_value=0, max_value=20))
+def test_gate_never_reorders_conflicting_pairs(w, seed):
+    """Commit order of conflicting scheduled pairs follows the schedule."""
+    graph = w.conflict_graph()
+    schedule = tsgen_from_scratch(w, 3, OpCountCostModel(), graph=graph,
+                                  rng=Rng(seed))
+    rng = Rng(seed + 2000)
+    for t in w:
+        t.min_runtime_cycles = rng.randint(0, 10_000)
+    enforcer = ScheduleEnforcer(schedule, graph)
+    sim = SimConfig(num_threads=3, cc="none", op_cost=500,
+                    cc_op_overhead=0, commit_overhead=0, dispatch_cost=10,
+                    abort_penalty=0)
+    engine = MulticoreEngine(sim, dispatch_gate=enforcer,
+                             progress_hooks=enforcer, record_history=True)
+    enforcer.bind(engine)
+    engine.run([list(q) for q in schedule.queues])
+    commit_at = {r.tid: r.commit_time for r in engine.history}
+    for i, queue in enumerate(schedule.queues):
+        for t in queue:
+            for other in graph.neighbors(t.tid):
+                j = schedule.queue_of.get(other)
+                if j is None or j == i:
+                    continue
+                a, b = schedule.intervals[t.tid], schedule.intervals[other]
+                if b.end <= a.start:  # other scheduled strictly before t
+                    assert commit_at[other] <= commit_at[t.tid]
+    for t in w:
+        t.min_runtime_cycles = 0

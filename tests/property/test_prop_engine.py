@@ -1,0 +1,93 @@
+"""Property-based tests: every engine execution is conflict-serializable.
+
+Random contended workloads are dealt to random buffers and executed
+under every CC protocol; the committed history must always be
+conflict-serializable and complete.  This is the library's deepest
+safety net: it exercises the engine, the protocols, and the history
+oracle together.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import SimConfig
+from repro.common.rng import Rng
+from repro.sim import MulticoreEngine, assert_serializable
+from repro.txn import make_transaction, read, write
+
+PROTOCOLS = ["occ", "silo", "tictoc", "nowait", "waitdie", "mvcc_ser", "hstore"]
+
+
+@st.composite
+def contended_batch(draw):
+    """A small batch over few keys (high contention on purpose)."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    n_keys = draw(st.integers(min_value=2, max_value=6))
+    txns = []
+    for tid in range(n):
+        n_ops = draw(st.integers(min_value=1, max_value=5))
+        ops = []
+        for _ in range(n_ops):
+            key = draw(st.integers(min_value=0, max_value=n_keys - 1))
+            ops.append(write("t", key) if draw(st.booleans()) else read("t", key))
+        txns.append(make_transaction(tid, ops))
+    return txns
+
+
+@settings(max_examples=25, deadline=None)
+@given(contended_batch(), st.sampled_from(PROTOCOLS),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=20))
+def test_every_execution_is_serializable(txns, cc, k, seed):
+    sim = SimConfig(num_threads=k, cc=cc, op_cost=500, cc_op_overhead=10,
+                    commit_overhead=50, dispatch_cost=20, abort_penalty=100)
+    rng = Rng(seed)
+    buffers = [[] for _ in range(k)]
+    for t in txns:
+        buffers[rng.randint(0, k - 1)].append(t)
+    engine = MulticoreEngine(sim, record_history=True)
+    result = engine.run(buffers)
+    assert result.counters.committed == len(txns)
+    assert len(engine.history) == len(txns)
+    assert_serializable(engine.history)
+
+
+@settings(max_examples=25, deadline=None)
+@given(contended_batch(), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=20))
+def test_mvcc_snapshot_isolation_holds(txns, k, seed):
+    """MVCC (SI) histories must satisfy snapshot reads + FCW."""
+    from repro.sim import assert_snapshot_consistent
+
+    sim = SimConfig(num_threads=k, cc="mvcc", op_cost=500, cc_op_overhead=10,
+                    commit_overhead=50, dispatch_cost=20, abort_penalty=100)
+    rng = Rng(seed)
+    buffers = [[] for _ in range(k)]
+    for t in txns:
+        buffers[rng.randint(0, k - 1)].append(t)
+    engine = MulticoreEngine(sim, record_history=True)
+    result = engine.run(buffers)
+    assert result.counters.committed == len(txns)
+    assert_snapshot_consistent(engine.history)
+
+
+@settings(max_examples=15, deadline=None)
+@given(contended_batch(), st.sampled_from(["occ", "tictoc"]),
+       st.integers(min_value=0, max_value=10))
+def test_skewed_runtimes_stay_serializable(txns, cc, seed):
+    """Long conflict windows (runtime-skew bounds) must not break safety."""
+    rng = Rng(seed)
+    skewed = [
+        make_transaction(t.tid, t.ops,
+                         min_runtime_cycles=rng.randint(0, 20_000))
+        for t in txns
+    ]
+    sim = SimConfig(num_threads=3, cc=cc, op_cost=500, cc_op_overhead=10,
+                    commit_overhead=50, dispatch_cost=20, abort_penalty=100)
+    buffers = [[] for _ in range(3)]
+    for t in skewed:
+        buffers[rng.randint(0, 2)].append(t)
+    engine = MulticoreEngine(sim, record_history=True)
+    result = engine.run(buffers)
+    assert result.counters.committed == len(txns)
+    assert_serializable(engine.history)

@@ -1,0 +1,192 @@
+"""Discrete-event engine mechanics: timing, phases, retries, extensions."""
+
+import pytest
+
+from repro.common import SimConfig
+from repro.common.errors import SimulationError
+from repro.sim import MulticoreEngine
+from repro.storage import Database
+from repro.txn import insert, make_transaction, read, serial_cost_cycles, write
+
+SIM = SimConfig(num_threads=2, op_cost=1000, cc_op_overhead=50,
+                commit_overhead=200, dispatch_cost=100, abort_penalty=500)
+
+
+def t(tid, n_ops=3, key_base=0, table="x", **kw):
+    ops = [read(table, key_base + i) for i in range(n_ops)]
+    return make_transaction(tid, ops, **kw)
+
+
+class TestTiming:
+    def test_single_transaction_serial_cost(self):
+        txn = t(1, n_ops=4)
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[txn], []])
+        assert result.end_time == serial_cost_cycles(txn, SIM)
+
+    def test_serial_queue_is_sum_of_costs(self):
+        txns = [t(i, n_ops=2, key_base=10 * i) for i in range(3)]
+        engine = MulticoreEngine(SIM)
+        result = engine.run([txns, []])
+        assert result.end_time == sum(serial_cost_cycles(x, SIM) for x in txns)
+
+    def test_parallel_threads_overlap(self):
+        a, b = t(1, n_ops=5), t(2, n_ops=5, key_base=50)
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[a], [b]])
+        assert result.end_time == serial_cost_cycles(a, SIM)
+
+    def test_min_runtime_delays_commit(self):
+        txn = t(1, n_ops=1, **{"min_runtime_cycles": 50_000})
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[txn], []])
+        # dispatch happens before the bound clock starts; commit overhead after.
+        assert result.end_time == SIM.dispatch_cost + 50_000 + SIM.commit_overhead
+
+    def test_io_delay_extends_completion(self):
+        txn = t(1, n_ops=1, **{"io_delay_cycles": 7_000})
+        engine = MulticoreEngine(SIM)
+        base = t(2, n_ops=1)
+        no_io = MulticoreEngine(SIM).run([[base], []]).end_time
+        assert engine.run([[txn], []]).end_time == no_io + 7_000
+
+    def test_start_time_offsets_phase(self):
+        engine = MulticoreEngine(SIM)
+        txn = t(1, n_ops=1)
+        result = engine.run([[txn], []], start_time=10_000)
+        assert result.start_time == 10_000
+        assert result.makespan == serial_cost_cycles(txn, SIM)
+
+
+class TestPhasesAndState:
+    def test_two_phase_execution_reuses_engine(self):
+        engine = MulticoreEngine(SIM)
+        r1 = engine.run([[t(1)], [t(2, key_base=10)]])
+        r2 = engine.run([[t(3, key_base=20)], []], start_time=r1.end_time)
+        assert r2.end_time > r1.end_time
+        assert r1.counters.committed == 2 and r2.counters.committed == 1
+
+    def test_buffer_count_must_match_threads(self):
+        engine = MulticoreEngine(SIM)
+        with pytest.raises(SimulationError):
+            engine.run([[t(1)]])
+
+    def test_empty_buffers_are_fine(self):
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[], []])
+        assert result.end_time == 0
+        assert result.counters.committed == 0
+
+    def test_thread_busy_accounting(self):
+        a, b = t(1, n_ops=9), t(2, n_ops=1, key_base=50)
+        result = MulticoreEngine(SIM).run([[a], [b]])
+        assert result.thread_busy[0] > result.thread_busy[1] > 0
+
+
+class TestRetries:
+    def make_conflict(self):
+        slow = make_transaction(1, [write("x", 1)] + [read("p", i) for i in range(8)])
+        fast = make_transaction(2, [read("p", 100), write("x", 1)])
+        return slow, fast
+
+    def test_abort_counts_and_wasted_cycles(self):
+        slow, fast = self.make_conflict()
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[slow], [fast]])
+        assert result.counters.aborts == 1
+        assert result.counters.wasted_cycles > 0
+        assert result.counters.committed == 2
+
+    def test_abort_penalty_charged(self):
+        slow, fast = self.make_conflict()
+        quiet = MulticoreEngine(SIM.with_(abort_penalty=0)).run([[slow], [fast]])
+        penal = MulticoreEngine(SIM.with_(abort_penalty=100_000)).run([[slow], [fast]])
+        assert penal.end_time >= quiet.end_time + 100_000
+
+
+class TestStorageIntegration:
+    def test_committed_writes_reach_database(self):
+        db = Database()
+        db.create_table("x").insert(1, "old")
+        txn = make_transaction(1, [write("x", 1, value="new")])
+        engine = MulticoreEngine(SIM, db=db)
+        engine.run([[txn], []])
+        assert db.record(("x", 1)).value == "new"
+
+    def test_inserts_create_rows(self):
+        db = Database()
+        db.create_table("x")
+        txn = make_transaction(1, [insert("x", 42, value="fresh")])
+        MulticoreEngine(SIM, db=db).run([[txn], []])
+        assert db.record(("x", 42)).value == "fresh"
+
+    def test_no_db_means_no_applies(self):
+        engine = MulticoreEngine(SIM)
+        txn = make_transaction(1, [write("x", 1, value="v")])
+        engine.run([[txn], []])
+        assert not engine.apply_writes
+
+    def test_versions_track_commits(self):
+        engine = MulticoreEngine(SIM)
+        a = make_transaction(1, [write("x", 1)])
+        b = make_transaction(2, [write("x", 1)])
+        engine.run([[a, b], []])
+        assert engine.versions[("x", 1)] == 2
+
+
+class TestDispatchFilter:
+    class AlwaysDefer:
+        """Defers transaction 0 on its first check only."""
+
+        def __init__(self):
+            self.deferred = False
+            self.calls = 0
+
+        def filter(self, thread_id, txn, now):
+            self.calls += 1
+            if txn.tid == 0 and not self.deferred:
+                self.deferred = True
+                return True, 10
+            return False, 10
+
+        # Progress hooks so it can be installed as both.
+        def on_dispatch(self, thread_id, txn, now): ...
+
+        def on_commit(self, thread_id, txn, now): ...
+
+    def test_deferral_reorders_buffer(self):
+        filt = self.AlwaysDefer()
+        engine = MulticoreEngine(SIM, dispatch_filter=filt, progress_hooks=filt,
+                                 record_history=True)
+        txns = [t(i, key_base=10 * i) for i in range(4)]
+        result = engine.run([txns, []])
+        assert result.counters.committed == 4
+        assert result.counters.deferrals >= 1
+        # History order shows the first transaction ran later than second.
+        order = [rec.tid for rec in engine.history]
+        assert order[0] != 0
+
+    def test_last_transaction_never_deferred(self):
+        filt = self.AlwaysDefer()
+        engine = MulticoreEngine(SIM, dispatch_filter=filt, progress_hooks=filt)
+        result = engine.run([[t(1)], []])
+        assert result.counters.deferrals == 0
+        assert result.counters.committed == 1
+
+
+class TestHistoryRecording:
+    def test_history_contains_reads_and_writes(self):
+        engine = MulticoreEngine(SIM, record_history=True)
+        a = make_transaction(1, [read("x", 1), write("x", 2)])
+        engine.run([[a], []])
+        (rec,) = engine.history
+        assert rec.tid == 1
+        assert dict(rec.reads) == {("x", 1): 0}
+        assert dict(rec.writes) == {("x", 2): 1}
+
+    def test_own_write_read_not_logged_as_read(self):
+        engine = MulticoreEngine(SIM, record_history=True)
+        a = make_transaction(1, [write("x", 1), read("x", 1)])
+        engine.run([[a], []])
+        (rec,) = engine.history
+        assert dict(rec.reads) == {}

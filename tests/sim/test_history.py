@@ -1,0 +1,94 @@
+"""Serializability oracle: dependency-graph construction and cycle finding."""
+
+import pytest
+
+from repro.sim.engine import CommittedRecord
+from repro.sim.history import (
+    assert_serializable,
+    find_cycle,
+    is_serializable,
+    serialization_graph,
+)
+
+X = ("t", "x")
+Y = ("t", "y")
+
+
+def rec(tid, reads=(), writes=(), at=0):
+    return CommittedRecord(tid=tid, commit_time=at,
+                           reads=tuple(reads), writes=tuple(writes))
+
+
+class TestGraphConstruction:
+    def test_wr_edge(self):
+        history = [rec(1, writes=[(X, 1)]), rec(2, reads=[(X, 1)])]
+        adj = serialization_graph(history)
+        assert 2 in adj[1]
+
+    def test_ww_edges_follow_version_order(self):
+        history = [rec(1, writes=[(X, 1)]), rec(2, writes=[(X, 2)]),
+                   rec(3, writes=[(X, 3)])]
+        adj = serialization_graph(history)
+        assert 2 in adj[1] and 3 in adj[2]
+        assert 3 not in adj[1]  # only consecutive versions
+
+    def test_rw_antidependency(self):
+        history = [rec(1, reads=[(X, 0)]), rec(2, writes=[(X, 1)])]
+        adj = serialization_graph(history)
+        assert 2 in adj[1]
+
+    def test_reader_of_initial_version_has_no_wr_edge(self):
+        history = [rec(1, reads=[(X, 0)])]
+        adj = serialization_graph(history)
+        assert adj[1] == set()
+
+    def test_rmw_has_no_self_edge(self):
+        history = [rec(1, reads=[(X, 0)], writes=[(X, 1)])]
+        adj = serialization_graph(history)
+        assert 1 not in adj[1]
+
+
+class TestCycleDetection:
+    def test_serial_history_is_serializable(self):
+        history = [
+            rec(1, writes=[(X, 1)]),
+            rec(2, reads=[(X, 1)], writes=[(Y, 1)]),
+            rec(3, reads=[(Y, 1)]),
+        ]
+        assert is_serializable(history)
+        assert_serializable(history)
+
+    def test_write_skew_style_cycle_detected(self):
+        # T1 reads old x then writes y; T2 reads old y then writes x.
+        history = [
+            rec(1, reads=[(X, 0)], writes=[(Y, 1)]),
+            rec(2, reads=[(Y, 0)], writes=[(X, 1)]),
+        ]
+        assert not is_serializable(history)
+        with pytest.raises(AssertionError, match="cycle"):
+            assert_serializable(history)
+
+    def test_lost_update_cycle_detected(self):
+        # Both read version 0 of x, both write it: classic lost update.
+        history = [
+            rec(1, reads=[(X, 0)], writes=[(X, 1)]),
+            rec(2, reads=[(X, 0)], writes=[(X, 2)]),
+        ]
+        assert not is_serializable(history)
+
+    def test_find_cycle_returns_closed_walk(self):
+        history = [
+            rec(1, reads=[(X, 0)], writes=[(Y, 1)]),
+            rec(2, reads=[(Y, 0)], writes=[(X, 1)]),
+        ]
+        cycle = find_cycle(serialization_graph(history))
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) <= {1, 2}
+
+    def test_empty_history_serializable(self):
+        assert is_serializable([])
+
+    def test_long_chain_acyclic(self):
+        history = [rec(i, writes=[(X, i)]) for i in range(1, 50)]
+        assert is_serializable(history)

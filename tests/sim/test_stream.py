@@ -1,0 +1,113 @@
+"""Open-system mode: timed arrivals and the Poisson stream driver."""
+
+import pytest
+
+from repro.common import CYCLES_PER_SECOND, Rng, SimConfig
+from repro.common.errors import SimulationError
+from repro.sim import MulticoreEngine, poisson_arrivals, run_open_system
+from repro.txn import make_transaction, read, write
+
+SIM = SimConfig(num_threads=2, op_cost=1000, cc_op_overhead=0,
+                commit_overhead=0, dispatch_cost=0, abort_penalty=0)
+
+
+def t(tid, n_ops=2, key_base=0):
+    return make_transaction(tid, [read("x", key_base + i) for i in range(n_ops)])
+
+
+class TestEngineArrivals:
+    def test_arrival_executes_after_its_time(self):
+        engine = MulticoreEngine(SIM, record_history=True)
+        txn = t(1)
+        result = engine.run([[], []], arrivals=[(10_000, 0, txn)])
+        assert result.counters.committed == 1
+        assert engine.history[0].commit_time >= 10_000 + 2_000
+
+    def test_arrival_latency_includes_queueing(self):
+        # Thread 0 is busy with a long buffered transaction; the arrival
+        # at t=0 waits for it.
+        engine = MulticoreEngine(SIM)
+        long_txn = t(1, n_ops=20)
+        result = engine.run([[long_txn], []], arrivals=[(0, 0, t(2))])
+        lat = sorted(result.latencies)
+        assert lat[-1] >= 20_000  # the arrival waited behind 20 ops
+
+    def test_arrival_wakes_idle_thread(self):
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[], []], arrivals=[(5_000, 1, t(1))])
+        assert result.end_time == 5_000 + 2_000
+
+    def test_arrivals_interleave_with_buffers(self):
+        engine = MulticoreEngine(SIM)
+        result = engine.run([[t(1)], [t(2, key_base=10)]],
+                            arrivals=[(500, 0, t(3, key_base=20)),
+                                      (800, 1, t(4, key_base=30))])
+        assert result.counters.committed == 4
+
+    def test_arrival_before_start_rejected(self):
+        engine = MulticoreEngine(SIM)
+        with pytest.raises(SimulationError):
+            engine.run([[], []], start_time=1_000, arrivals=[(0, 0, t(1))])
+
+    def test_conflicting_arrivals_are_safe(self):
+        from repro.sim import assert_serializable
+
+        engine = MulticoreEngine(SIM.with_(cc="occ"), record_history=True)
+        arrivals = [(i * 300, i % 2,
+                     make_transaction(i, [write("x", 1), read("x", 1)]))
+                    for i in range(10)]
+        result = engine.run([[], []], arrivals=arrivals)
+        assert result.counters.committed == 10
+        assert_serializable(engine.history)
+
+
+class TestPoissonArrivals:
+    def test_rate_sets_mean_gap(self):
+        txns = [t(i) for i in range(2_000)]
+        arrivals = poisson_arrivals(txns, offered_tps=100_000, num_threads=4,
+                                    rng=Rng(1))
+        span = arrivals[-1][0] - arrivals[0][0]
+        mean_gap = span / (len(arrivals) - 1)
+        expected = CYCLES_PER_SECOND / 100_000
+        assert 0.9 * expected <= mean_gap <= 1.1 * expected
+
+    def test_times_are_monotone(self):
+        txns = [t(i) for i in range(100)]
+        arrivals = poisson_arrivals(txns, 50_000, 4, rng=Rng(2))
+        times = [a[0] for a in arrivals]
+        assert times == sorted(times)
+
+    def test_round_robin_threads(self):
+        txns = [t(i) for i in range(8)]
+        arrivals = poisson_arrivals(txns, 50_000, 4, rng=Rng(3))
+        assert [a[1] for a in arrivals] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_random_assignment_in_range(self):
+        txns = [t(i) for i in range(50)]
+        arrivals = poisson_arrivals(txns, 50_000, 4, rng=Rng(4),
+                                    assignment="random")
+        assert {a[1] for a in arrivals} <= {0, 1, 2, 3}
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([t(1)], 0, 2)
+
+
+class TestRunOpenSystem:
+    def test_underload_keeps_up(self):
+        txns = [t(i, key_base=10 * i) for i in range(200)]
+        engine = MulticoreEngine(SIM)
+        # Each txn takes 2k cycles; 2 threads -> capacity 2M txn/s.
+        result = run_open_system(engine, txns, offered_tps=200_000, rng=Rng(5))
+        assert not result.saturated
+        assert result.phase.counters.committed == 200
+
+    def test_overload_saturates_and_queues(self):
+        txns = [t(i, key_base=10 * i, n_ops=10) for i in range(200)]
+        engine = MulticoreEngine(SIM)
+        # Capacity = 2 threads / 10k cycles = 200k txn/s; offer 10x that.
+        result = run_open_system(engine, txns, offered_tps=2_000_000,
+                                 rng=Rng(6))
+        assert result.saturated
+        # Queueing delay shows up in the tail.
+        assert result.latency_percentile(0.99) > 10 * 10_000

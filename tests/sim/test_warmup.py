@@ -1,0 +1,58 @@
+"""Warm-up dry-run cost histories."""
+
+from repro.common import SimConfig
+from repro.common.rng import Rng
+from repro.sim.warmup import dry_run_cost, serial_makespan, warm_up_history
+from repro.txn import make_transaction, read, serial_cost_cycles
+
+
+def txn(tid, n_ops=4, **kw):
+    return make_transaction(tid, [read("x", i) for i in range(n_ops)],
+                            template="t", params={"n": n_ops}, **kw)
+
+
+class TestDryRun:
+    def test_dry_run_excludes_io(self):
+        sim = SimConfig()
+        t = txn(0, io_delay_cycles=9_999)
+        assert dry_run_cost(t, sim) == serial_cost_cycles(t, sim) - 9_999
+
+    def test_dry_run_includes_min_runtime(self):
+        sim = SimConfig()
+        t = txn(0, min_runtime_cycles=10**6)
+        assert dry_run_cost(t, sim) == 10**6
+
+
+class TestWarmUpHistory:
+    def test_noiseless_history_is_exact(self):
+        sim = SimConfig()
+        txns = [txn(i, n_ops=3 + i) for i in range(5)]
+        model = warm_up_history(txns, sim, noise=0.0)
+        for t in txns:
+            assert model.time(t) == dry_run_cost(t, sim)
+
+    def test_noise_stays_bounded(self):
+        sim = SimConfig()
+        txns = [txn(i) for i in range(50)]
+        model = warm_up_history(txns, sim, noise=0.1, rng=Rng(1))
+        for t in txns:
+            exact = dry_run_cost(t, sim)
+            assert 0.85 * exact <= model.time(t) <= 1.15 * exact
+
+    def test_relative_order_preserved(self):
+        """Estimates must roughly preserve relative costs (Section 3)."""
+        sim = SimConfig()
+        short = txn(0, n_ops=2)
+        long = make_transaction(1, [read("x", i) for i in range(40)],
+                                template="t", params={"n": 40})
+        model = warm_up_history([short, long], sim, noise=0.05, rng=Rng(2))
+        assert model.time(long) > model.time(short)
+
+
+class TestSerialMakespan:
+    def test_sums_costs(self):
+        sim = SimConfig()
+        txns = [txn(i) for i in range(3)]
+        assert serial_makespan(txns, sim) == sum(
+            serial_cost_cycles(t, sim) for t in txns
+        )

@@ -1,0 +1,154 @@
+"""Storage engine: records, indexes, tables, database catalog."""
+
+import pytest
+
+from repro.common.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage import Database, HashIndex, OrderedIndex, Record, Table
+
+
+class TestRecord:
+    def test_committed_write_bumps_version(self):
+        rec = Record(value="a", version=1)
+        rec.committed_write("b", writer_tid=9)
+        assert rec.value == "b" and rec.version == 2 and rec.last_writer == 9
+
+
+class TestHashIndex:
+    def test_put_get_remove(self):
+        idx = HashIndex()
+        rec = Record(value=1)
+        idx.put_new("k", rec)
+        assert idx.get("k") is rec
+        assert "k" in idx and len(idx) == 1
+        assert idx.remove("k") is rec
+        assert "k" not in idx
+
+    def test_duplicate_put_rejected(self):
+        idx = HashIndex()
+        idx.put_new("k", Record())
+        with pytest.raises(DuplicateKeyError):
+            idx.put_new("k", Record())
+
+    def test_missing_key_raises(self):
+        idx = HashIndex()
+        with pytest.raises(KeyNotFoundError):
+            idx.get("nope")
+        with pytest.raises(KeyNotFoundError):
+            idx.remove("nope")
+        assert idx.find("nope") is None
+
+    def test_put_or_replace(self):
+        idx = HashIndex()
+        idx.put_or_replace("k", Record(value=1))
+        idx.put_or_replace("k", Record(value=2))
+        assert idx.get("k").value == 2
+
+
+class TestOrderedIndex:
+    def test_range_inclusive(self):
+        idx = OrderedIndex()
+        for k in (5, 1, 9, 3, 7):
+            idx.add(k)
+        assert idx.range(3, 7) == [3, 5, 7]
+        assert idx.range(0, 100) == [1, 3, 5, 7, 9]
+        assert idx.range(4, 4) == []
+
+    def test_min_ge_and_max_le(self):
+        idx = OrderedIndex()
+        for k in (10, 20, 30):
+            idx.add(k)
+        assert idx.min_ge(15) == 20
+        assert idx.min_ge(31) is None
+        assert idx.max_le(15) == 10
+        assert idx.max_le(9) is None
+
+    def test_remove(self):
+        idx = OrderedIndex()
+        idx.add(1)
+        idx.add(2)
+        idx.remove(1)
+        assert idx.range(0, 10) == [2]
+        with pytest.raises(KeyNotFoundError):
+            idx.remove(1)
+
+    def test_tuple_keys(self):
+        idx = OrderedIndex()
+        for key in ((1, 2), (1, 1), (2, 0)):
+            idx.add(key)
+        assert idx.range((1, 0), (1, 9)) == [(1, 1), (1, 2)]
+
+
+class TestTable:
+    def test_insert_get_delete(self):
+        t = Table("t")
+        t.insert(1, "a")
+        assert t.get(1).value == "a" and 1 in t and len(t) == 1
+        t.delete(1)
+        assert 1 not in t
+
+    def test_duplicate_insert_rejected(self):
+        t = Table("t")
+        t.insert(1)
+        with pytest.raises(DuplicateKeyError):
+            t.insert(1)
+
+    def test_upsert(self):
+        t = Table("t")
+        t.upsert(1, "a")
+        v1 = t.get(1).version
+        t.upsert(1, "b")
+        assert t.get(1).value == "b" and t.get(1).version == v1 + 1
+
+    def test_range_requires_ordered(self):
+        t = Table("t", ordered=True)
+        for k in range(5):
+            t.insert(k)
+        assert t.range_keys(1, 3) == [1, 2, 3]
+        assert t.min_key_ge(2) == 2
+        assert not Table("u").supports_range
+
+    def test_ordered_index_tracks_deletes(self):
+        t = Table("t", ordered=True)
+        t.insert(1)
+        t.insert(2)
+        t.delete(1)
+        assert t.range_keys(0, 10) == [2]
+
+
+class TestDatabase:
+    def test_catalog(self):
+        db = Database()
+        t = db.create_table("a")
+        assert db.table("a") is t and "a" in db
+        with pytest.raises(StorageError):
+            db.create_table("a")
+        with pytest.raises(StorageError):
+            db.table("missing")
+
+    def test_record_by_global_key(self):
+        db = Database()
+        db.create_table("a").insert(1, "v")
+        assert db.record(("a", 1)).value == "v"
+        assert db.find(("a", 2)) is None
+        assert db.find(("zz", 1)) is None
+
+    def test_ensure_creates_missing_rows(self):
+        db = Database()
+        db.create_table("a")
+        rec = db.ensure(("a", 5))
+        assert rec is db.record(("a", 5))
+        assert db.ensure(("a", 5)) is rec
+
+    def test_snapshot_is_deep(self):
+        db = Database()
+        db.create_table("a").insert(1, "v")
+        snap = db.snapshot()
+        db.record(("a", 1)).committed_write("changed", 0)
+        assert snap.record(("a", 1)).value == "v"
+
+    def test_total_records(self):
+        db = Database()
+        db.create_table("a").insert(1)
+        db.create_table("b").insert(1)
+        db.table("b").insert(2)
+        assert db.total_records() == 3

@@ -1,0 +1,95 @@
+"""Conflict graph construction, caching, and consistency with in_conflict."""
+
+from repro.common.rng import Rng
+from repro.txn import (
+    ConflictGraph,
+    IsolationLevel,
+    in_conflict,
+    make_transaction,
+    read,
+    write,
+)
+
+
+def random_workload(n=40, keys=15, rng=None):
+    rng = rng or Rng(21)
+    txns = []
+    for tid in range(n):
+        ops = []
+        for _ in range(rng.randint(1, 5)):
+            key = rng.randint(0, keys - 1)
+            ops.append(write("x", key) if rng.chance(0.5) else read("x", key))
+        txns.append(make_transaction(tid, ops))
+    return txns
+
+
+class TestConflictGraph:
+    def test_neighbors_match_pairwise_in_conflict(self):
+        txns = random_workload()
+        graph = ConflictGraph(txns)
+        for a in txns:
+            expected = {b.tid for b in txns if in_conflict(a, b)}
+            assert graph.neighbors(a.tid) == expected
+
+    def test_snapshot_isolation_neighbors(self):
+        txns = random_workload(rng=Rng(22))
+        graph = ConflictGraph(txns, IsolationLevel.SNAPSHOT)
+        for a in txns:
+            expected = {b.tid for b in txns
+                        if in_conflict(a, b, IsolationLevel.SNAPSHOT)}
+            assert graph.neighbors(a.tid) == expected
+
+    def test_edges_are_symmetric_and_unique(self):
+        txns = random_workload(rng=Rng(23))
+        graph = ConflictGraph(txns)
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges))
+        for a, b in edges:
+            assert a < b
+            assert graph.are_adjacent(a, b) and graph.are_adjacent(b, a)
+
+    def test_are_adjacent_agrees_with_neighbors(self):
+        txns = random_workload(rng=Rng(24))
+        graph = ConflictGraph(txns)
+        for a in txns:
+            for b in txns:
+                if a.tid != b.tid:
+                    assert graph.are_adjacent(a.tid, b.tid) == (
+                        b.tid in graph.neighbors(a.tid)
+                    )
+
+    def test_no_self_loops(self):
+        txns = random_workload(rng=Rng(25))
+        graph = ConflictGraph(txns)
+        for t in txns:
+            assert t.tid not in graph.neighbors(t.tid)
+            assert not graph.are_adjacent(t.tid, t.tid)
+
+    def test_degree_and_len(self):
+        t1 = make_transaction(1, [write("x", 1)])
+        t2 = make_transaction(2, [read("x", 1)])
+        t3 = make_transaction(3, [read("x", 9)])
+        graph = ConflictGraph([t1, t2, t3])
+        assert len(graph) == 3
+        assert graph.degree(1) == 1
+        assert graph.degree(3) == 0
+
+    def test_writers_and_readers_of(self):
+        t1 = make_transaction(1, [write("x", 1)])
+        t2 = make_transaction(2, [read("x", 1)])
+        graph = ConflictGraph([t1, t2])
+        assert list(graph.writers_of(("x", 1))) == [1]
+        assert list(graph.readers_of(("x", 1))) == [2]
+        assert list(graph.writers_of(("x", 404))) == []
+
+    def test_contains_and_transaction_lookup(self):
+        t1 = make_transaction(7, [write("x", 1)])
+        graph = ConflictGraph([t1])
+        assert 7 in graph and 8 not in graph
+        assert graph.transaction(7) is t1
+
+    def test_neighbor_cache_is_stable(self):
+        txns = random_workload(rng=Rng(26))
+        graph = ConflictGraph(txns)
+        first = graph.neighbors(0)
+        assert graph.neighbors(0) is first  # cached object returned

@@ -1,0 +1,92 @@
+"""Conventional conflicts under serializability and snapshot isolation."""
+
+from repro.txn import IsolationLevel, conflict_keys, in_conflict, make_transaction, read, write
+
+SER = IsolationLevel.SERIALIZABLE
+SI = IsolationLevel.SNAPSHOT
+
+
+def txn(tid, reads=(), writes=()):
+    ops = [read("x", k) for k in reads] + [write("x", k) for k in writes]
+    return make_transaction(tid, ops)
+
+
+class TestSerializability:
+    def test_write_write_conflict(self):
+        assert in_conflict(txn(1, writes=[1]), txn(2, writes=[1]))
+
+    def test_read_write_conflict_both_directions(self):
+        assert in_conflict(txn(1, reads=[1]), txn(2, writes=[1]))
+        assert in_conflict(txn(1, writes=[1]), txn(2, reads=[1]))
+
+    def test_read_read_is_not_a_conflict(self):
+        assert not in_conflict(txn(1, reads=[1]), txn(2, reads=[1]))
+
+    def test_disjoint_access_sets(self):
+        assert not in_conflict(txn(1, writes=[1]), txn(2, writes=[2]))
+
+    def test_self_is_never_in_conflict(self):
+        t = txn(1, writes=[1])
+        assert not in_conflict(t, t)
+
+    def test_symmetry(self):
+        a, b = txn(1, reads=[1], writes=[2]), txn(2, reads=[2], writes=[3])
+        assert in_conflict(a, b) == in_conflict(b, a)
+
+
+class TestSnapshotIsolation:
+    def test_only_write_write_conflicts(self):
+        assert in_conflict(txn(1, writes=[1]), txn(2, writes=[1]), SI)
+        assert not in_conflict(txn(1, reads=[1]), txn(2, writes=[1]), SI)
+
+    def test_si_weaker_than_serializability(self):
+        """Any SI conflict is also a serializability conflict."""
+        pairs = [
+            (txn(1, writes=[1]), txn(2, writes=[1])),
+            (txn(1, reads=[3], writes=[1, 2]), txn(2, reads=[2], writes=[2])),
+        ]
+        for a, b in pairs:
+            if in_conflict(a, b, SI):
+                assert in_conflict(a, b, SER)
+
+
+class TestExample1:
+    """The conflict pairs stated in the paper's Example 1."""
+
+    def _w0(self, w0):
+        return w0[1], w0[2], w0[3], w0[4], w0[5]
+
+    def test_stated_conflicts(self, w0):
+        t1, t2, t3, t4, t5 = self._w0(w0)
+        assert in_conflict(t1, t2)
+        assert in_conflict(t1, t3)
+        assert in_conflict(t2, t3)
+        assert in_conflict(t2, t5)
+        assert in_conflict(t4, t5)
+
+    def test_stated_non_conflicts(self, w0):
+        t1, t2, t3, t4, t5 = self._w0(w0)
+        assert not in_conflict(t1, t4)
+        assert not in_conflict(t1, t5)
+        assert not in_conflict(t3, t4)
+        assert not in_conflict(t3, t5)
+        assert not in_conflict(t2, t4)
+
+
+class TestConflictKeys:
+    def test_keys_of_rw_conflict(self):
+        a = txn(1, reads=[1, 2], writes=[3])
+        b = txn(2, writes=[1])
+        assert conflict_keys(a, b) == {("x", 1)}
+
+    def test_no_conflict_means_no_keys(self):
+        assert conflict_keys(txn(1, reads=[1]), txn(2, reads=[1])) == frozenset()
+
+    def test_si_keys_are_write_intersection(self):
+        a = txn(1, reads=[1], writes=[2, 3])
+        b = txn(2, reads=[2], writes=[3, 4])
+        assert conflict_keys(a, b, SI) == {("x", 3)}
+
+    def test_self_keys_empty(self):
+        t = txn(1, writes=[1])
+        assert conflict_keys(t, t) == frozenset()

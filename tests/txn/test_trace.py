@@ -1,0 +1,97 @@
+"""Workload trace save/load roundtrips."""
+
+import json
+
+import pytest
+
+from repro.common.config import SimConfig, TpccConfig, YcsbConfig, RuntimeSkewConfig
+from repro.common.errors import WorkloadError
+from repro.txn.trace import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.bench.workloads import TpccGenerator, YcsbGenerator, apply_runtime_skew
+
+
+def equal_workloads(a, b) -> bool:
+    if len(a) != len(b) or a.name != b.name:
+        return False
+    for ta, tb in zip(a, b):
+        if (ta.tid, ta.template, ta.ops, dict(ta.params),
+                ta.min_runtime_cycles, ta.io_delay_cycles, ta.has_range) != (
+                tb.tid, tb.template, tb.ops, dict(tb.params),
+                tb.min_runtime_cycles, tb.io_delay_cycles, tb.has_range):
+            return False
+    return True
+
+
+class TestRoundtrip:
+    def test_ycsb_roundtrip(self, tmp_path):
+        w = YcsbGenerator(YcsbConfig(num_records=1_000, ops_per_txn=4),
+                          seed=1).make_workload(30)
+        path = tmp_path / "trace.json"
+        save_workload(w, path)
+        assert equal_workloads(w, load_workload(path))
+
+    def test_tpcc_tuple_keys_roundtrip(self, tmp_path):
+        gen = TpccGenerator(TpccConfig(num_warehouses=2,
+                                       customers_per_district=10, items=20),
+                            seed=2)
+        w = gen.make_workload(40)
+        path = tmp_path / "tpcc.json"
+        save_workload(w, path)
+        loaded = load_workload(path)
+        assert equal_workloads(w, loaded)
+        # Composite keys preserved exactly.
+        orig_keys = {k for t in w for k in t.access_set}
+        back_keys = {k for t in loaded for k in t.access_set}
+        assert orig_keys == back_keys
+
+    def test_extensions_survive(self, tmp_path):
+        w = YcsbGenerator(YcsbConfig(num_records=1_000, ops_per_txn=4),
+                          seed=3).make_workload(20)
+        apply_runtime_skew(w, RuntimeSkewConfig(), SimConfig())
+        path = tmp_path / "skewed.json"
+        save_workload(w, path)
+        loaded = load_workload(path)
+        assert [t.min_runtime_cycles for t in loaded] == [
+            t.min_runtime_cycles for t in w
+        ]
+        assert all("runtime_class" in t.params for t in loaded)
+
+    def test_trace_is_plain_json(self, tmp_path):
+        w = YcsbGenerator(YcsbConfig(num_records=100, ops_per_txn=2),
+                          seed=4).make_workload(5)
+        path = tmp_path / "t.json"
+        save_workload(w, path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert len(data["transactions"]) == 5
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_dict({"version": 99, "transactions": []})
+
+    def test_unserialisable_key_rejected(self):
+        from repro.txn import make_transaction, read, workload_from
+
+        w = workload_from([make_transaction(0, [read("t", 3.14)])])
+        with pytest.raises(WorkloadError):
+            workload_to_dict(w)
+
+    def test_loaded_workload_is_executable(self, tmp_path):
+        from repro.bench.runner import run_system
+        from repro.common import ExperimentConfig
+
+        w = YcsbGenerator(YcsbConfig(num_records=500, ops_per_txn=4),
+                          seed=5).make_workload(40)
+        path = tmp_path / "exec.json"
+        save_workload(w, path)
+        loaded = load_workload(path)
+        exp = ExperimentConfig(sim=SimConfig(num_threads=2))
+        result = run_system(loaded, "dbcc", exp)
+        assert result.committed == 40

@@ -1,0 +1,61 @@
+"""Workload container and round-robin splitting."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.txn import make_transaction, read, split_round_robin, workload_from
+
+
+def txns(n):
+    return [make_transaction(i, [read("x", i)]) for i in range(n)]
+
+
+class TestWorkload:
+    def test_len_iter_getitem(self):
+        w = workload_from(txns(5))
+        assert len(w) == 5
+        assert [t.tid for t in w] == [0, 1, 2, 3, 4]
+        assert w[3].tid == 3
+        assert 3 in w and 9 not in w
+
+    def test_duplicate_tid_rejected(self):
+        dup = [make_transaction(1, [read("x", 0)]),
+               make_transaction(1, [read("x", 1)])]
+        with pytest.raises(WorkloadError):
+            workload_from(dup)
+
+    def test_total_ops(self):
+        w = workload_from(txns(4))
+        assert w.total_ops() == 4
+
+    def test_templates_histogram(self):
+        a = make_transaction(0, [read("x", 0)], template="a")
+        b = make_transaction(1, [read("x", 0)], template="a")
+        c = make_transaction(2, [read("x", 0)], template="b")
+        assert workload_from([a, b, c]).templates() == {"a": 2, "b": 1}
+
+    def test_conflict_graph_builds(self):
+        w = workload_from(txns(3))
+        assert len(w.conflict_graph()) == 3
+
+
+class TestRoundRobin:
+    def test_deals_in_order(self):
+        buffers = split_round_robin(txns(7), 3)
+        assert [t.tid for t in buffers[0]] == [0, 3, 6]
+        assert [t.tid for t in buffers[1]] == [1, 4]
+        assert [t.tid for t in buffers[2]] == [2, 5]
+
+    def test_covers_everything_exactly_once(self):
+        buffers = split_round_robin(txns(10), 4)
+        seen = [t.tid for buf in buffers for t in buf]
+        assert sorted(seen) == list(range(10))
+
+    def test_more_threads_than_txns(self):
+        buffers = split_round_robin(txns(2), 5)
+        assert sum(len(b) for b in buffers) == 2
+        assert len(buffers) == 5
+
+    def test_requires_positive_k(self):
+        with pytest.raises(WorkloadError):
+            split_round_robin(txns(2), 0)
