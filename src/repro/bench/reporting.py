@@ -32,11 +32,31 @@ class Series:
     cells: dict[tuple[str, object], Cell] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
+    _MISSING = object()
+
     def put(self, system: str, x, cell: Cell) -> None:
         self.cells[(system, x)] = cell
 
-    def get(self, system: str, x) -> Cell:
-        return self.cells[(system, x)]
+    def get(self, system: str, x, default=None) -> Cell | None:
+        """The cell at (system, x), or ``default`` when the run never
+        produced one (a partially-completed or crashed sweep).  Callers
+        that cannot tolerate a hole should pass ``default=Series.REQUIRED``
+        to get a descriptive KeyError instead of a bare miss."""
+        cell = self.cells.get((system, x), self._MISSING)
+        if cell is self._MISSING:
+            if default is self.REQUIRED:
+                raise KeyError(
+                    f"series {self.exp_id!r} has no cell for system "
+                    f"{system!r} at x={x!r} (known systems: {self.systems()},"
+                    f" x values: {self.x_values}); the sweep may have been "
+                    f"interrupted before this point ran"
+                )
+            return default
+        return cell
+
+    #: Sentinel for :meth:`get`: raise a descriptive error on a missing
+    #: cell instead of returning a default.
+    REQUIRED = object()
 
     def systems(self) -> list[str]:
         seen: list[str] = []
@@ -46,13 +66,21 @@ class Series:
         return seen
 
     def improvement(self, ours: str, baseline: str, x) -> float:
-        """Throughput improvement of ``ours`` over ``baseline`` at x, in %."""
-        return improvement_pct(self.get(ours, x).throughput,
-                               self.get(baseline, x).throughput)
+        """Throughput improvement of ``ours`` over ``baseline`` at x, in %.
+
+        NaN when either cell is missing (partial run), so aggregations
+        can filter holes instead of crashing.
+        """
+        a, b = self.get(ours, x), self.get(baseline, x)
+        if a is None or b is None:
+            return float("nan")
+        return improvement_pct(a.throughput, b.throughput)
 
     def retry_reduction(self, ours: str, baseline: str, x) -> float:
-        return reduction_pct(self.get(ours, x).retries_per_100k,
-                             self.get(baseline, x).retries_per_100k)
+        a, b = self.get(ours, x), self.get(baseline, x)
+        if a is None or b is None:
+            return float("nan")
+        return reduction_pct(a.retries_per_100k, b.retries_per_100k)
 
     def render(self) -> str:
         """Format the series as the table of numbers behind the figure."""

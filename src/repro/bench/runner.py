@@ -22,6 +22,12 @@ from ..common.config import ExperimentConfig
 from ..common.rng import Rng
 from ..common.stats import Counters, RunResult, percentile
 from ..core.tskd import TSKD
+from ..obs.metrics import (
+    LATENCY_BUCKETS_CYCLES,
+    RETRY_BUCKETS,
+    MetricsRegistry,
+)
+from ..obs.tracing import Tracer
 from ..partition.base import Partitioner
 from ..sim.engine import MulticoreEngine
 from ..sim.warmup import warm_up_history
@@ -49,8 +55,16 @@ def run_system(
     name: Optional[str] = None,
     record_history: bool = False,
     db=None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
-    """Execute ``workload`` under ``system`` and return the measurements."""
+    """Execute ``workload`` under ``system`` and return the measurements.
+
+    ``tracer`` streams structured span events from every engine phase
+    (see :mod:`repro.obs.tracing`); ``metrics`` supplies the registry the
+    run populates — one is created when omitted, and either way the
+    populated registry rides back on ``RunResult.metrics``.
+    """
     sim = exp.sim
     k = sim.num_threads
     rng = Rng(exp.seed * 31 + 5)
@@ -93,7 +107,9 @@ def run_system(
     clock = 0
     queue_retries: Optional[int] = None
     latencies: list[int] = []
+    retry_counts: list[int] = []
     contended = 0
+    registry = metrics if metrics is not None else MetricsRegistry()
 
     enforced = (
         isinstance(system, TSKD)
@@ -110,17 +126,19 @@ def run_system(
         free_sim = sim.with_(cc="none", cc_op_overhead=0, commit_overhead=0)
         gate_engine = MulticoreEngine(
             free_sim, db=db, dispatch_gate=enforcer, progress_hooks=enforcer,
-            record_history=record_history,
+            record_history=record_history, tracer=tracer,
         )
         enforcer.bind(gate_engine)
         result = gate_engine.run(phases[0])
         clock = result.end_time
         totals.merge(result.counters)
         latencies.extend(result.latencies)
+        retry_counts.extend(result.retry_counts)
         for i, b in enumerate(result.thread_busy):
             busy[i] += b
         queue_retries = result.counters.aborts
         contended += gate_engine.protocol.contended
+        registry.ingest(gate_engine.protocol.metrics_dict(), prefix="cc.")
         remaining = phases[1:]
         shared_versions = gate_engine.versions
         shared_history = gate_engine.history
@@ -137,6 +155,7 @@ def run_system(
         db=db,
         versions=shared_versions,
         history=shared_history,
+        tracer=tracer,
     )
     if dispatch_filter is not None:
         # Bounded future probing reads remote queues past headp.
@@ -147,6 +166,7 @@ def run_system(
         clock = result.end_time
         totals.merge(result.counters)
         latencies.extend(result.latencies)
+        retry_counts.extend(result.retry_counts)
         for i, b in enumerate(result.thread_busy):
             busy[i] += b
         if phase_idx == 0 and schedule is not None and not enforced:
@@ -154,6 +174,8 @@ def run_system(
     contended += engine.protocol.contended
     latencies.sort()
 
+    _populate_registry(registry, totals, engine, dispatch_filter, schedule,
+                       latencies, retry_counts)
     run = RunResult(
         name=name or system_name(system),
         committed=totals.committed,
@@ -170,11 +192,50 @@ def run_system(
         latency_p50=percentile(latencies, 0.50),
         latency_p95=percentile(latencies, 0.95),
         latency_p99=percentile(latencies, 0.99),
+        metrics=registry,
     )
+    _publish_run_gauges(registry, run)
     if record_history:
         # Stash the engine so callers can inspect history / storage.
         object.__setattr__(run, "_engine", engine)
     return run
+
+
+def _populate_registry(
+    registry: MetricsRegistry,
+    totals: Counters,
+    engine: MulticoreEngine,
+    dispatch_filter,
+    schedule,
+    latencies: list[int],
+    retry_counts: list[int],
+) -> None:
+    """Fold every component's instrumentation into the run's registry."""
+    registry.ingest_counters(totals)
+    registry.ingest(engine.protocol.metrics_dict(), prefix="cc.")
+    if dispatch_filter is not None:
+        dispatch_filter.publish(registry)
+    if schedule is not None and schedule.stats is not None:
+        registry.ingest(schedule.stats.as_dict(), prefix="tsgen.")
+    registry.histogram(
+        "latency.service_cycles", LATENCY_BUCKETS_CYCLES,
+        "per-transaction service latency (dispatch to completion)",
+    ).observe_many(latencies)
+    registry.histogram(
+        "retries.per_txn", RETRY_BUCKETS,
+        "aborted attempts per committed transaction",
+    ).observe_many(retry_counts)
+
+
+def _publish_run_gauges(registry: MetricsRegistry, run: RunResult) -> None:
+    """Derived headline values, as gauges next to the raw counters."""
+    registry.gauge("run.throughput_txn_s").set(run.throughput)
+    registry.gauge("run.retries_per_100k").set(run.retries_per_100k)
+    registry.gauge("run.makespan_cycles").set(run.makespan_cycles)
+    registry.gauge("run.imbalance_ratio").set(run.imbalance_ratio)
+    registry.gauge("run.idle_threads").set(run.idle_threads)
+    if run.scheduled_pct is not None:
+        registry.gauge("run.scheduled_pct").set(run.scheduled_pct)
 
 
 def engine_of(result: RunResult) -> MulticoreEngine:

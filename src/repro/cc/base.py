@@ -58,6 +58,12 @@ class CCProtocol:
 
     def __init__(self):
         self.contended = 0
+        #: Accesses that had to queue behind a held lock (pessimistic
+        #: protocols; 0 for optimistic ones).
+        self.lock_waits = 0
+        #: Commit-phase validations that failed (optimistic protocols;
+        #: 0 for pure 2PL, which validates at access time).
+        self.validation_failures = 0
         self._engine = None
         #: Shared committed-version store, injected by the engine; the
         #: engine reads it when recording histories, protocols bump it in
@@ -74,6 +80,16 @@ class CCProtocol:
     def reset(self) -> None:
         """Clear all protocol metadata between runs."""
         self.contended = 0
+        self.lock_waits = 0
+        self.validation_failures = 0
+
+    def metrics_dict(self) -> dict[str, int]:
+        """Flat instrumentation tallies for the run's metrics registry."""
+        return {
+            "contended": self.contended,
+            "lock_waits": self.lock_waits,
+            "validation_failures": self.validation_failures,
+        }
 
     # -- hooks ---------------------------------------------------------
     def begin(self, active: "ActiveTxn", now: int) -> None:

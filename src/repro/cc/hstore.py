@@ -63,6 +63,7 @@ class HstoreProtocol(CCProtocol):
                 owner = self._owner.get(p)
                 if owner is not None and owner != active.thread_id:
                     self.contended += 1
+                    self.lock_waits += 1  # partition lock conflict
                     return _ABORT
             for p in wanted:
                 self._owner[p] = active.thread_id

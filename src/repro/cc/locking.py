@@ -95,6 +95,7 @@ class WaitDie2PL(_TwoPhaseLocking):
             other = self._engine.active_txn(thread_id)
             if other is None or active.ts >= other.ts:
                 return _ABORT  # younger than some holder: die
+        self.lock_waits += 1
         self._locks.enqueue(op.record_key, active.thread_id,
                             LockMode.EXCLUSIVE if op.is_write else LockMode.SHARED)
         return _WAIT

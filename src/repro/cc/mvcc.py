@@ -88,11 +88,13 @@ class MvccProtocol(CCProtocol):
             log = self._version_log.get(key)
             if log and log[-1] > snap_ts:
                 self.contended += 1  # first committer already won
+                self.validation_failures += 1
                 return False
         if self.isolation == "serializable":
             for key, seen in active.observed.items():
                 if self._visible_version(key, self._commit_clock) != seen:
                     self.contended += 1
+                    self.validation_failures += 1
                     return False
         return True
 

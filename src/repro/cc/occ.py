@@ -35,5 +35,6 @@ class OccProtocol(CCProtocol):
         for key, seen in active.observed.items():
             if self.versions.get(key, 0) != seen:
                 self.contended += 1
+                self.validation_failures += 1
                 return False
         return True

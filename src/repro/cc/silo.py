@@ -57,6 +57,7 @@ class SiloProtocol(CCProtocol):
             owner = self._write_locks.get(key)
             if owner is not None and owner != active.thread_id:
                 self.contended += 1
+                self.validation_failures += 1
                 return False
         for key in keys:
             self._write_locks[key] = active.thread_id
@@ -68,9 +69,11 @@ class SiloProtocol(CCProtocol):
             owner = self._write_locks.get(key)
             if owner is not None and owner != active.thread_id:
                 self.contended += 1
+                self.validation_failures += 1
                 return False
             if self.versions.get(key, 0) != seen:
                 self.contended += 1
+                self.validation_failures += 1
                 return False
         return True
 

@@ -76,6 +76,7 @@ class TicTocProtocol(CCProtocol):
             # does not cover cts.  (Checking against the *current* wts
             # would be unsound: intermediate versions may exist.)
             self.contended += 1
+            self.validation_failures += 1
             return False
         active.ctx["tt_cts"] = cts
         return True

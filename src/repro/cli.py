@@ -5,19 +5,26 @@ Subcommands:
 * ``run``        — execute one workload under one system, print metrics;
 * ``compare``    — execute the same bundle under several systems;
 * ``experiment`` — regenerate paper figures (wraps repro.bench.experiments);
-* ``tune``       — pilot-run TsDEFER parameter tuning for a workload.
+* ``tune``       — pilot-run TsDEFER parameter tuning for a workload;
+* ``trace``      — replay a saved JSONL span log as a timeline;
+* ``report``     — render a saved JSON run artifact for humans.
 
 Examples::
 
     python -m repro run --workload ycsb --theta 0.9 --system tskd-s
+    python -m repro run --workload ycsb --system tskd-s \\
+        --export-json out.json --trace out.trace.jsonl
     python -m repro compare --workload tpcc --cross-pct 0.35 --bundle 1000
     python -m repro experiment fig4a fig5g --quick
     python -m repro tune --workload ycsb --theta 0.8
+    python -m repro trace out.trace.jsonl --tid 17
+    python -m repro report out.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Sequence
 
 from .bench.experiments import main as experiments_main
@@ -38,6 +45,16 @@ from .common.config import (
 )
 from .core.autotune import tune_tsdefer
 from .core.tskd import TSKD
+from .obs import (
+    ArtifactError,
+    JsonlTracer,
+    export_run,
+    load_artifact,
+    load_trace,
+    render_artifact,
+    render_timeline,
+    render_trace_summary,
+)
 from .partition import make_partitioner
 
 #: System spec names accepted by --system.  Append "!" to a tskd-* name
@@ -118,8 +135,57 @@ def _print_result(result) -> None:
 
 def cmd_run(args) -> int:
     workload, exp = _build(args)
-    result = run_system(workload, _make_system(args.system), exp)
+    # Open output sinks before the (potentially long) run so a bad path
+    # fails immediately instead of discarding finished work.
+    if args.export_json:
+        try:
+            open(args.export_json, "a", encoding="utf-8").close()
+        except OSError as e:
+            raise SystemExit(f"cannot write artifact {args.export_json!r}: {e}")
+    try:
+        tracer = JsonlTracer(args.trace) if args.trace else None
+    except OSError as e:
+        raise SystemExit(f"cannot write trace {args.trace!r}: {e}")
+    try:
+        result = run_system(workload, _make_system(args.system), exp,
+                            tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     _print_result(result)
+    if tracer is not None:
+        print(f"trace: {tracer.emitted} events -> {args.trace}")
+    if args.export_json:
+        export_run(args.export_json, result, config=exp,
+                   trace_path=args.trace, workload=args.workload)
+        print(f"artifact: {args.export_json}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    try:
+        events = list(load_trace(args.path))
+    except OSError as e:
+        raise SystemExit(f"cannot read trace {args.path!r}: {e}")
+    except (json.JSONDecodeError, KeyError) as e:
+        raise SystemExit(f"{args.path!r} is not a JSONL span log: {e}")
+    print(render_timeline(events, limit=args.limit, thread=args.thread,
+                          tid=args.tid))
+    print()
+    print(render_trace_summary(events))
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        doc = load_artifact(args.path)
+    except OSError as e:
+        raise SystemExit(f"cannot read artifact {args.path!r}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{args.path!r} is not JSON: {e}")
+    except ArtifactError as e:
+        raise SystemExit(f"invalid artifact {args.path!r}: {e}")
+    print(render_artifact(doc))
     return 0
 
 
@@ -150,6 +216,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run one workload under one system")
     _add_workload_args(p_run)
     p_run.add_argument("--system", default="tskd-s", help=f"one of {SYSTEMS}")
+    p_run.add_argument("--export-json", metavar="PATH",
+                       help="write a schema-validated run artifact here")
+    p_run.add_argument("--trace", metavar="PATH",
+                       help="stream engine span events to this JSONL file")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare systems on one bundle")
@@ -167,6 +237,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_tune.add_argument("--instance", default="CC",
                         help="TSKD instance to tune (CC/S/C/H/0)")
     p_tune.set_defaults(func=cmd_tune)
+
+    p_trace = sub.add_parser("trace", help="replay a saved JSONL span log")
+    p_trace.add_argument("path", help="trace file written by run --trace")
+    p_trace.add_argument("--limit", type=int, default=60,
+                         help="max timeline lines to print")
+    p_trace.add_argument("--thread", type=int, default=None,
+                         help="only events from this thread")
+    p_trace.add_argument("--tid", type=int, default=None,
+                         help="only events for this transaction id")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_rep = sub.add_parser("report", help="render a saved run artifact")
+    p_rep.add_argument("path", help="artifact written by run --export-json")
+    p_rep.set_defaults(func=cmd_report)
 
     args = parser.parse_args(argv)
     if args.command == "experiment":

@@ -9,7 +9,8 @@ evaluation narrates: load imbalance, contended accesses (the mutrace
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from .config import CYCLES_PER_SECOND
 
@@ -66,6 +67,10 @@ class RunResult:
     latency_p50: int = 0
     latency_p95: int = 0
     latency_p99: int = 0
+    #: Full per-run metrics registry (a repro.obs.MetricsRegistry), when
+    #: the runner collected one.  Excluded from equality so a traced and
+    #: an untraced run of the same workload compare equal.
+    metrics: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -87,12 +92,28 @@ class RunResult:
         return self.retries_per_100k / 10.0
 
     @property
+    def idle_threads(self) -> int:
+        """Threads that accumulated zero busy cycles this run.
+
+        A thread can legitimately stay idle (k greater than the bundle,
+        or an empty phase buffer); reporting it separately keeps
+        :attr:`imbalance_ratio` meaningful instead of collapsing to inf.
+        """
+        return sum(1 for b in self.thread_busy_cycles if b <= 0)
+
+    @property
     def imbalance_ratio(self) -> float:
-        """Largest over smallest per-thread busy time (Section 6.2(1a))."""
-        busy = [b for b in self.thread_busy_cycles]
-        if not busy or min(busy) <= 0:
-            return float("inf") if busy and max(busy) > 0 else 1.0
-        return max(busy) / min(busy)
+        """Largest over smallest *active*-thread busy time (Section 6.2(1a)).
+
+        Threads with zero busy cycles are excluded — they did no work at
+        all, so they say nothing about how unevenly the work was spread
+        over the threads that ran it; see :attr:`idle_threads` for how
+        many sat out.  1.0 when no thread (or only one) was active.
+        """
+        active = [b for b in self.thread_busy_cycles if b > 0]
+        if len(active) < 2:
+            return 1.0
+        return max(active) / min(active)
 
     def summary(self) -> str:
         parts = [

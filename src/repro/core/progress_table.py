@@ -46,6 +46,10 @@ class ProgressTable:
         self._rng = rng
         self._stale_prob = stale_prob
         self._accuracy = accuracy
+        #: Items returned by :meth:`probe` calls (lookup operations run).
+        self.probes = 0
+        #: Observations that saw a thread's *previous* headp (staleness).
+        self.stale_observations = 0
         self._current: list[Optional[Transaction]] = [None] * num_threads
         self._previous: list[Optional[Transaction]] = [None] * num_threads
         #: Predicted (visible) write set per tid, materialised once.
@@ -93,8 +97,10 @@ class ProgressTable:
         txn = self._current[j]
         if txn is not None and self._rng.chance(self._stale_prob):
             txn = self._previous[j]
+            self.stale_observations += 1
         elif txn is None and self._rng.chance(self._stale_prob):
             txn = self._previous[j]
+            self.stale_observations += 1
         observed = [] if txn is None else [txn]
         if future_depth > 1 and self._buffer_reader is not None:
             upcoming = self._buffer_reader(j)
@@ -141,6 +147,7 @@ class ProgressTable:
             for space in spaces:
                 for idx in self._rng.sample(range(len(space)), min(num_lookups, len(space))):
                     items.append(space[idx])
+            self.probes += len(items)
             return items
 
         total = sum(len(s) for s in spaces)
@@ -151,4 +158,5 @@ class ProgressTable:
                     items.append(space[linear])
                     break
                 linear -= len(space)
+        self.probes += len(items)
         return items

@@ -46,6 +46,10 @@ class Schedule:
     merged_residual: int = 0
     #: Size of the input plan's residual (denominator of s%).
     input_residual: int = 0
+    #: Refinement instrumentation left behind by tsgen (ckRCF check
+    #: counts, promotions, rejection reasons); None when the schedule was
+    #: built by hand.
+    stats: "object | None" = None
 
     @property
     def k(self) -> int:

@@ -39,9 +39,33 @@ class TsDeferStats:
 
     checks: int = 0
     lookups: int = 0
+    #: Probed items that hit the candidate's access set (witness rule) or
+    #: duplicated another probe (duplicates rule) — the numerator of the
+    #: probe hit rate.
+    probe_hits: int = 0
     conflicts_witnessed: int = 0
     deferrals: int = 0
     max_defer_hits: int = 0
+
+    @property
+    def probe_hit_rate(self) -> float:
+        """Fraction of probes that witnessed a likely conflict."""
+        return self.probe_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def defer_rate(self) -> float:
+        """Fraction of dispatch checks that ended in a deferral."""
+        return self.deferrals / self.checks if self.checks else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "checks": self.checks,
+            "lookups": self.lookups,
+            "probe_hits": self.probe_hits,
+            "conflicts_witnessed": self.conflicts_witnessed,
+            "deferrals": self.deferrals,
+            "max_defer_hits": self.max_defer_hits,
+        }
 
 
 class TsDefer:
@@ -65,6 +89,26 @@ class TsDefer:
         )
         self.stats = TsDeferStats()
         self._defer_count: dict[int, int] = defaultdict(int)
+
+    def publish(self, registry) -> None:
+        """Push the filter's tallies into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry`; counters go
+        under ``tsdefer.*``, derived rates become gauges, and the probing
+        structure's own counters land under ``progress_table.*``.
+        """
+        registry.ingest(self.stats.as_dict(), prefix="tsdefer.")
+        registry.gauge("tsdefer.probe_hit_rate",
+                       "fraction of probes witnessing a likely conflict"
+                       ).set(self.stats.probe_hit_rate)
+        registry.gauge("tsdefer.defer_rate",
+                       "fraction of dispatch checks that deferred"
+                       ).set(self.stats.defer_rate)
+        registry.ingest(
+            {"probes": self.table.probes,
+             "stale_observations": self.table.stale_observations},
+            prefix="progress_table.",
+        )
 
     # -- ProgressHooks ---------------------------------------------------
     def on_dispatch(self, thread_id: int, txn: Transaction, now: int) -> None:
@@ -100,7 +144,9 @@ class TsDefer:
             hits = sum(1 for item in items if item in target)
             likely_conflict = hits >= cfg.threshold
         else:  # the literal "#lookups - d" duplicate-counting rule
-            likely_conflict = (len(items) - len(set(items))) >= cfg.threshold
+            hits = len(items) - len(set(items))
+            likely_conflict = hits >= cfg.threshold
+        self.stats.probe_hits += hits
 
         if not likely_conflict:
             return False, cost

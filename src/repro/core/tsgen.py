@@ -35,6 +35,7 @@ conflict graph — linear in |W| for bounded degree, matching Section 4.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..common.errors import SchedulingError
@@ -49,6 +50,54 @@ from .schedule import Interval, Schedule
 
 #: Residual orderings tsgen understands.
 RESIDUAL_ORDERS = ("random", "given", "degree", "cost")
+
+
+@dataclass
+class TsgenStats:
+    """Refinement instrumentation for one tsgen call.
+
+    Attached to the returned :class:`~repro.core.schedule.Schedule` as
+    ``schedule.stats`` and published into the run's metrics registry
+    under ``tsgen.*`` names (docs/observability.md).
+    """
+
+    #: Residual candidates examined (refinement rounds).
+    examined: int = 0
+    #: Candidates merged into an RC-free queue.
+    scheduled: int = 0
+    #: Candidates that stayed residual.
+    stayed_residual: int = 0
+    #: Partition members promoted into queues ahead of schedule
+    #: (Algorithm 1 lines 7-9, plus dependency promotions).
+    promotions: int = 0
+    #: ckRCF interval checks performed (one per candidate-queue try).
+    rc_checks: int = 0
+    #: ckRCF checks that found a cross-queue runtime conflict.
+    rc_rejections: int = 0
+    #: Candidate queues skipped because placement would breach the
+    #: balance cap.
+    balance_cap_skips: int = 0
+    #: Candidate queues skipped because the queue tail started before a
+    #: dependency predecessor completed.
+    floor_skips: int = 0
+    #: Candidates held residual because a predecessor was unscheduled.
+    dependency_holds: int = 0
+    #: Placements that needed a fallback queue (not the least-loaded).
+    fallback_placements: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "examined": self.examined,
+            "scheduled": self.scheduled,
+            "stayed_residual": self.stayed_residual,
+            "promotions": self.promotions,
+            "rc_checks": self.rc_checks,
+            "rc_rejections": self.rc_rejections,
+            "balance_cap_skips": self.balance_cap_skips,
+            "floor_skips": self.floor_skips,
+            "dependency_holds": self.dependency_holds,
+            "fallback_placements": self.fallback_placements,
+        }
 
 
 def tsgen(
@@ -105,6 +154,7 @@ def tsgen(
     rng = rng or Rng(0)
     graph = graph or workload.conflict_graph()
     k = plan.k
+    stats = TsgenStats()
 
     queues: list[list[Transaction]] = [[] for _ in range(k)]
     intervals: dict[int, Interval] = {}
@@ -159,6 +209,7 @@ def tsgen(
                 i = in_part.pop(p, None)
                 if i is not None:
                     append(i, pending[i].pop(p))
+                    stats.promotions += 1
 
     def earliest_start(tid: int) -> int | None:
         """Lower bound from predecessors, or None if one is unscheduled."""
@@ -176,6 +227,7 @@ def tsgen(
     cap = balance_cap * ideal
 
     for t_star in r_vec:
+        stats.examined += 1
         # Lines 7-9 fused with the neighbour-interval gather below: one
         # pass over the conflict-graph neighbourhood both promotes
         # conflicting partition members into their queues and collects
@@ -185,6 +237,7 @@ def tsgen(
             i = in_part.pop(other, None)
             if i is not None:
                 append(i, pending[i].pop(other))
+                stats.promotions += 1
                 j = i
             else:
                 j = queue_of.get(other)
@@ -200,6 +253,7 @@ def tsgen(
             promote_pending_preds(t_star.tid)
             bound = earliest_start(t_star.tid)
             if bound is None:
+                stats.dependency_holds += 1
                 residual_s.append(t_star)
                 continue
             floor = bound
@@ -212,15 +266,18 @@ def tsgen(
         pad = int(slack * duration)
         placed = False
         by_load = sorted(range(k), key=len_.__getitem__)
-        for l in by_load[:tries]:
+        for try_idx, l in enumerate(by_load[:tries]):
             if len_[l] + duration > cap:
+                stats.balance_cap_skips += 1
                 continue  # would stretch the makespan: leave for residual
             start = sched_len[l]
             if start < floor:
+                stats.floor_skips += 1
                 continue  # would start before a predecessor completes
             window_lo = start - pad
             window_hi = start + duration + pad
             ok = True
+            stats.rc_checks += 1
             for j, lst in neigh_by_queue.items():
                 if j == l:
                     continue  # same queue: serial, never a runtime conflict
@@ -236,7 +293,11 @@ def tsgen(
                 append(l, t_star)
                 len_[l] += duration
                 placed = True
+                stats.scheduled += 1
+                if try_idx > 0:
+                    stats.fallback_placements += 1
                 break
+            stats.rc_rejections += 1
         if not placed:
             residual_s.append(t_star)
 
@@ -246,6 +307,7 @@ def tsgen(
             if t.tid in pending[i]:
                 append(i, t)
 
+    stats.stayed_residual = len(residual_s)
     schedule = Schedule(
         queues=queues,
         residual=residual_s,
@@ -253,6 +315,7 @@ def tsgen(
         queue_of=queue_of,
         merged_residual=len(plan.residual) - len(residual_s),
         input_residual=len(plan.residual),
+        stats=stats,
     )
     if check:
         schedule.validate_total_order()

@@ -1,0 +1,79 @@
+"""repro.obs — observability: tracing, metrics, and run artifacts.
+
+Three cooperating layers, all optional and zero-overhead when unused:
+
+* :mod:`repro.obs.tracing` — structured span events the engine emits on
+  the virtual clock (dispatch / op / block / commit / abort / ...);
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  fixed-bucket histograms that subsumes the engine's flat ``Counters``
+  and collects every component's instrumentation in one namespace;
+* :mod:`repro.obs.artifact` — one JSON document per run (result +
+  metrics + config + optional span-log pointer), with a dependency-free
+  schema validator CI leans on; :mod:`repro.obs.report` renders both
+  artifacts and traces for humans.
+
+See docs/observability.md for the event schema, the metric-name
+inventory, and the artifact format.
+"""
+
+from .artifact import (
+    SCHEMA_ID,
+    ArtifactError,
+    build_artifact,
+    export_run,
+    load_artifact,
+    run_result_to_dict,
+    validate_artifact,
+)
+from .metrics import (
+    LATENCY_BUCKETS_CYCLES,
+    RETRY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import (
+    render_artifact,
+    render_histogram,
+    render_timeline,
+    render_trace_summary,
+)
+from .tracing import (
+    EVENT_KINDS,
+    JsonlTracer,
+    ListTracer,
+    TraceEvent,
+    Tracer,
+    load_trace,
+    span_sequence,
+    validate_events,
+)
+
+__all__ = [
+    "ArtifactError",
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "LATENCY_BUCKETS_CYCLES",
+    "ListTracer",
+    "MetricsRegistry",
+    "RETRY_BUCKETS",
+    "SCHEMA_ID",
+    "TraceEvent",
+    "Tracer",
+    "build_artifact",
+    "export_run",
+    "load_artifact",
+    "load_trace",
+    "render_artifact",
+    "render_histogram",
+    "render_timeline",
+    "render_trace_summary",
+    "run_result_to_dict",
+    "span_sequence",
+    "validate_artifact",
+    "validate_events",
+]

@@ -1,0 +1,194 @@
+"""Machine-readable run artifacts: serialize a run, validate, reload.
+
+An *artifact* is one JSON document capturing everything a run measured:
+the :class:`~repro.common.stats.RunResult` scalars, the full metrics
+registry (counters / gauges / histograms), the experiment configuration,
+and an optional pointer to a JSONL span log.  CI validates artifacts
+with :func:`validate_artifact` — a dependency-free structural check (the
+container has no ``jsonschema``), strict about required keys and types.
+
+Schema identifier: ``repro.run/1``.  See docs/observability.md for the
+field-by-field description.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping, Optional
+
+from ..common.errors import ReproError
+from ..common.stats import RunResult
+from .metrics import MetricsRegistry
+
+#: Current artifact schema identifier.
+SCHEMA_ID = "repro.run/1"
+
+#: Required keys of the ``run`` section, with the types a validator
+#: accepts (int is acceptable wherever float is).
+_RUN_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "committed": (int,),
+    "makespan_cycles": (int,),
+    "throughput": (int, float),
+    "retries": (int,),
+    "retries_per_100k": (int, float),
+    "deferrals": (int,),
+    "contended_accesses": (int,),
+    "wasted_cycles": (int,),
+    "blocked_cycles": (int,),
+    "num_threads": (int,),
+    "thread_busy_cycles": (list,),
+    "idle_threads": (int,),
+    "imbalance_ratio": (int, float),
+    "latency_p50": (int,),
+    "latency_p95": (int,),
+    "latency_p99": (int,),
+}
+
+
+class ArtifactError(ReproError):
+    """An artifact failed schema validation."""
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """The ``run`` section: every RunResult scalar plus derived metrics."""
+    return {
+        "name": result.name,
+        "committed": result.committed,
+        "makespan_cycles": result.makespan_cycles,
+        "throughput": result.throughput,
+        "retries": result.retries,
+        "retries_per_100k": result.retries_per_100k,
+        "deferrals": result.deferrals,
+        "contended_accesses": result.contended_accesses,
+        "wasted_cycles": result.wasted_cycles,
+        "blocked_cycles": result.blocked_cycles,
+        "num_threads": result.num_threads,
+        "thread_busy_cycles": list(result.thread_busy_cycles),
+        "idle_threads": result.idle_threads,
+        "imbalance_ratio": _json_safe_float(result.imbalance_ratio),
+        "scheduled_pct": result.scheduled_pct,
+        "queue_retries": result.queue_retries,
+        "latency_p50": result.latency_p50,
+        "latency_p95": result.latency_p95,
+        "latency_p99": result.latency_p99,
+    }
+
+
+def _json_safe_float(v: float) -> float:
+    """JSON has no inf/nan; clamp to a sentinel the schema allows."""
+    if v != v or v in (float("inf"), float("-inf")):
+        return -1.0
+    return v
+
+
+def _config_to_dict(config) -> Any:
+    if config is None:
+        return None
+    if is_dataclass(config) and not isinstance(config, type):
+        return asdict(config)
+    return config
+
+
+def build_artifact(
+    result: RunResult,
+    metrics: Optional[MetricsRegistry] = None,
+    config=None,
+    trace_path: Optional[str] = None,
+    workload: Optional[str] = None,
+) -> dict:
+    """Assemble the artifact document for one run."""
+    from .. import __version__
+
+    registry = metrics if metrics is not None else result.metrics
+    return {
+        "schema": SCHEMA_ID,
+        "generated_by": f"repro {__version__}",
+        "workload": workload,
+        "run": run_result_to_dict(result),
+        "metrics": (registry.to_dict() if registry is not None
+                    else MetricsRegistry().to_dict()),
+        "config": _config_to_dict(config),
+        "trace_path": trace_path,
+    }
+
+
+def export_run(
+    path,
+    result: RunResult,
+    metrics: Optional[MetricsRegistry] = None,
+    config=None,
+    trace_path: Optional[str] = None,
+    workload: Optional[str] = None,
+) -> dict:
+    """Build, validate, and write the artifact; returns the document."""
+    doc = build_artifact(result, metrics=metrics, config=config,
+                         trace_path=trace_path, workload=workload)
+    validate_artifact(doc)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
+def load_artifact(path) -> dict:
+    """Read and validate a saved artifact."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    validate_artifact(doc)
+    return doc
+
+
+def validate_artifact(doc: Mapping) -> None:
+    """Structural schema check; raises :class:`ArtifactError` on problems."""
+    if not isinstance(doc, Mapping):
+        raise ArtifactError(f"artifact must be an object, got {type(doc)!r}")
+    if doc.get("schema") != SCHEMA_ID:
+        raise ArtifactError(
+            f"unknown schema {doc.get('schema')!r}; expected {SCHEMA_ID!r}"
+        )
+    run = doc.get("run")
+    if not isinstance(run, Mapping):
+        raise ArtifactError("artifact is missing its 'run' section")
+    for key, types in _RUN_FIELDS.items():
+        if key not in run:
+            raise ArtifactError(f"run section is missing {key!r}")
+        value = run[key]
+        # bool is an int subclass; reject it where a number is expected.
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise ArtifactError(
+                f"run.{key} has type {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    busy = run["thread_busy_cycles"]
+    if len(busy) != run["num_threads"]:
+        raise ArtifactError(
+            f"thread_busy_cycles has {len(busy)} entries for "
+            f"{run['num_threads']} threads"
+        )
+    if not all(isinstance(b, int) and not isinstance(b, bool) for b in busy):
+        raise ArtifactError("thread_busy_cycles entries must be integers")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, Mapping):
+        raise ArtifactError("artifact is missing its 'metrics' section")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), Mapping):
+            raise ArtifactError(f"metrics.{section} must be an object")
+    for name, hist in metrics["histograms"].items():
+        for key in ("bounds", "counts", "count", "sum"):
+            if key not in hist:
+                raise ArtifactError(f"histogram {name!r} is missing {key!r}")
+        if len(hist["counts"]) != len(hist["bounds"]) + 1:
+            raise ArtifactError(
+                f"histogram {name!r}: counts must have len(bounds)+1 entries"
+            )
+        if sum(hist["counts"]) != hist["count"]:
+            raise ArtifactError(
+                f"histogram {name!r}: counts sum to {sum(hist['counts'])}, "
+                f"declared count is {hist['count']}"
+            )
+    trace_path = doc.get("trace_path")
+    if trace_path is not None and not isinstance(trace_path, str):
+        raise ArtifactError("trace_path must be a string or null")

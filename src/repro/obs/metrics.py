@@ -1,0 +1,212 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+This subsumes and extends :class:`repro.common.stats.Counters`: the
+engine's flat tallies are ingested under ``engine.*`` names, and every
+other component (TsDEFER, TSgen, the progress table, each CC protocol)
+publishes its own instrumentation next to them, so one registry holds
+every number a run produced.  The registry serialises to a plain dict
+(see :mod:`repro.obs.artifact`) and merges across phases/seeds.
+
+Naming convention: dotted lowercase paths, component first —
+``engine.committed``, ``cc.lock_waits``, ``tsdefer.probe_hit_rate``,
+``tsgen.rc_checks``, ``latency.service_cycles`` (histogram).  The full
+inventory is documented in docs/observability.md.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+#: Service-latency histogram upper bounds, in cycles.  Geometric-ish so
+#: both short YCSB points and long TPC-C tails land in useful buckets.
+LATENCY_BUCKETS_CYCLES = (
+    2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+)
+
+#: Retry-count-per-transaction histogram upper bounds.
+RETRY_BUCKETS = (0, 1, 2, 3, 5, 10, 25, 100)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing tally."""
+
+    name: str
+    help: str = ""
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value (set, not accumulated)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: ``bounds`` are ascending *upper* bounds.
+
+    ``counts`` has ``len(bounds) + 1`` entries; the last is the overflow
+    bucket (values above every bound).  A value lands in the first bucket
+    whose bound is >= the value.
+    """
+
+    name: str
+    bounds: tuple[Number, ...]
+    help: str = ""
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self):
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {self.name}: bounds must ascend")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> Number:
+        """Upper bound of the bucket holding the q-quantile observation."""
+        if self.total == 0:
+            return 0
+        rank = max(1, int(q * self.total + 0.5))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")  # pragma: no cover - defensive
+
+    def to_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.total, "sum": self.sum}
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges, and histograms for a run."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- creation / lookup ----------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        got = self.counters.get(name)
+        if got is None:
+            got = self.counters[name] = Counter(name, help)
+        return got
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        got = self.gauges.get(name)
+        if got is None:
+            got = self.gauges[name] = Gauge(name, help)
+        return got
+
+    def histogram(self, name: str, bounds: tuple[Number, ...],
+                  help: str = "") -> Histogram:
+        got = self.histograms.get(name)
+        if got is None:
+            got = self.histograms[name] = Histogram(name, tuple(bounds), help)
+        elif tuple(got.bounds) != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return got
+
+    def value(self, name: str) -> Optional[float]:
+        """The current value of a counter or gauge, or None."""
+        if name in self.counters:
+            return self.counters[name].value
+        if name in self.gauges:
+            return self.gauges[name].value
+        return None
+
+    # -- bulk ingestion ---------------------------------------------------
+    def ingest(self, values: Mapping[str, int], prefix: str = "") -> None:
+        """Accumulate a flat ``{name: int}`` mapping as counters."""
+        for key, v in values.items():
+            self.counter(prefix + key).inc(v)
+
+    def ingest_counters(self, counters, prefix: str = "engine.") -> None:
+        """Subsume a :class:`repro.common.stats.Counters` tally."""
+        from ..common.stats import Counters  # local: avoid import cycles
+
+        if not isinstance(counters, Counters):  # pragma: no cover - defensive
+            raise TypeError(f"expected Counters, got {type(counters)!r}")
+        self.ingest(
+            {
+                "committed": counters.committed,
+                "aborts": counters.aborts,
+                "deferrals": counters.deferrals,
+                "defer_checks": counters.defer_checks,
+                "lookups": counters.lookups,
+                "contended_accesses": counters.contended_accesses,
+                "wasted_cycles": counters.wasted_cycles,
+                "blocked_cycles": counters.blocked_cycles,
+            },
+            prefix=prefix,
+        )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry (counters/histograms add; gauges
+        take the other's value, last-writer-wins)."""
+        for name, c in other.counters.items():
+            self.counter(name, c.help).inc(c.value)
+        for name, g in other.gauges.items():
+            self.gauge(name, g.help).set(g.value)
+        for name, h in other.histograms.items():
+            mine = self.histogram(name, h.bounds, h.help)
+            for i, c in enumerate(h.counts):
+                mine.counts[i] += c
+            mine.total += h.total
+            mine.sum += h.sum
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "MetricsRegistry":
+        reg = cls()
+        for name, v in d.get("counters", {}).items():
+            reg.counter(name).inc(v)
+        for name, v in d.get("gauges", {}).items():
+            reg.gauge(name).set(v)
+        for name, h in d.get("histograms", {}).items():
+            hist = reg.histogram(name, tuple(h["bounds"]))
+            hist.counts = list(h["counts"])
+            hist.total = h["count"]
+            hist.sum = h["sum"]
+        return reg

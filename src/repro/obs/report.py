@@ -1,0 +1,184 @@
+"""Human-readable rendering of traces and run artifacts.
+
+Backs the ``python -m repro trace`` and ``python -m repro report``
+subcommands: a saved JSONL span log replays into a per-thread timeline
+plus summary tables, and a JSON run artifact renders as the tables a
+human wants to read (headline metrics, per-thread load, histograms).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from .tracing import TraceEvent
+
+#: Glyphs for the timeline column, one per event kind.
+_GLYPHS = {
+    "dispatch": "▶",
+    "defer": "↻",
+    "op": "·",
+    "block": "⛔",
+    "wake": "⏰",
+    "validate": "?",
+    "commit": "✔",
+    "abort": "✘",
+    "finish": "◀",
+}
+
+
+def _describe(e: TraceEvent) -> str:
+    a = e.attrs
+    if e.kind == "op":
+        return f"op[{a.get('op', '?')}] {a.get('rw', '?')} {a.get('key', '')}"
+    if e.kind == "block":
+        return f"blocked on {a.get('key', '?')}"
+    if e.kind == "wake":
+        return f"woke after {a.get('waited', '?')} cy"
+    if e.kind == "abort":
+        return (f"abort #{a.get('attempt', '?')} ({a.get('reason', '?')}), "
+                f"restart @{a.get('restart', '?')}")
+    if e.kind == "finish":
+        return f"done after {a.get('attempts', 0)} retries"
+    if e.kind == "defer":
+        return "deferred to back of buffer"
+    return ""
+
+
+def render_timeline(
+    events: Iterable[TraceEvent],
+    limit: Optional[int] = None,
+    thread: Optional[int] = None,
+    tid: Optional[int] = None,
+) -> str:
+    """Replay events as one line per span point, virtual-clock ordered."""
+    lines: list[str] = []
+    shown = total = 0
+    for e in events:
+        total += 1
+        if thread is not None and e.thread != thread:
+            continue
+        if tid is not None and e.tid != tid:
+            continue
+        if limit is None or shown < limit:
+            glyph = _GLYPHS.get(e.kind, "?")
+            desc = _describe(e)
+            lines.append(
+                f"{e.t:>12,} cy  thr{e.thread:<3d} T{e.tid:<6d} "
+                f"{glyph} {e.kind:<8s} {desc}".rstrip()
+            )
+        shown += 1
+    if limit is not None and shown > limit:
+        lines.append(f"... ({shown - limit} more matching events)")
+    if not lines:
+        lines.append("(no matching events)")
+    return "\n".join(lines)
+
+
+def render_trace_summary(events: Sequence[TraceEvent]) -> str:
+    """Aggregate view of a span log: kinds, per-thread work, retries."""
+    kinds: TallyCounter = TallyCounter()
+    per_thread_ops: dict[int, int] = defaultdict(int)
+    per_thread_commits: dict[int, int] = defaultdict(int)
+    abort_reasons: TallyCounter = TallyCounter()
+    t_lo = t_hi = None
+    for e in events:
+        kinds[e.kind] += 1
+        if e.kind == "op":
+            per_thread_ops[e.thread] += 1
+        elif e.kind == "commit":
+            per_thread_commits[e.thread] += 1
+        elif e.kind == "abort":
+            abort_reasons[e.attrs.get("reason", "unknown")] += 1
+        t_lo = e.t if t_lo is None else min(t_lo, e.t)
+        t_hi = e.t if t_hi is None else max(t_hi, e.t)
+
+    lines = ["== trace summary"]
+    if t_lo is None:
+        lines.append("(empty trace)")
+        return "\n".join(lines)
+    lines.append(f"window: [{t_lo:,}, {t_hi:,}] cycles "
+                 f"({t_hi - t_lo:,} cycles spanned)")
+    lines.append("events: " + "  ".join(
+        f"{k}={kinds[k]}" for k in sorted(kinds)))
+    if abort_reasons:
+        lines.append("abort reasons: " + "  ".join(
+            f"{r or 'unspecified'}={n}"
+            for r, n in abort_reasons.most_common()))
+    if per_thread_ops:
+        lines.append("per-thread ops/commits:")
+        for thr in sorted(set(per_thread_ops) | set(per_thread_commits)):
+            lines.append(f"  thr{thr:<3d} ops={per_thread_ops.get(thr, 0):<8d}"
+                         f"commits={per_thread_commits.get(thr, 0)}")
+    return "\n".join(lines)
+
+
+def render_histogram(name: str, hist: dict, width: int = 40) -> str:
+    """ASCII bar chart of one serialized histogram."""
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    peak = max(counts) if counts else 0
+    lines = [f"-- {name} (n={hist['count']}, mean="
+             f"{hist['sum'] / hist['count']:,.0f})" if hist["count"]
+             else f"-- {name} (empty)"]
+    if not hist["count"]:
+        return "\n".join(lines)
+    labels = [f"<= {b:,}" for b in bounds] + [f"> {bounds[-1]:,}"]
+    for label, n in zip(labels, counts):
+        bar = "#" * (round(n / peak * width) if peak else 0)
+        lines.append(f"  {label:>14s} {n:>8d} {bar}")
+    return "\n".join(lines)
+
+
+def render_artifact(doc: dict) -> str:
+    """Summary tables for one validated run artifact."""
+    run = doc["run"]
+    lines = [f"== run: {run['name']}  ({doc.get('generated_by', '?')}, "
+             f"schema {doc.get('schema')})"]
+    if doc.get("workload"):
+        lines.append(f"workload: {doc['workload']}")
+    lines.append(
+        f"throughput {run['throughput']:,.0f} txn/s   "
+        f"committed {run['committed']:,}   "
+        f"makespan {run['makespan_cycles']:,} cy"
+    )
+    lines.append(
+        f"retries {run['retries']:,} ({run['retries_per_100k']:,.0f}/100k)   "
+        f"deferrals {run['deferrals']:,}   "
+        f"contended {run['contended_accesses']:,}"
+    )
+    lines.append(
+        f"wasted {run['wasted_cycles']:,} cy   "
+        f"blocked {run['blocked_cycles']:,} cy   "
+        f"p50/p95/p99 = {run['latency_p50']:,}/{run['latency_p95']:,}/"
+        f"{run['latency_p99']:,} cy"
+    )
+    imb = run["imbalance_ratio"]
+    lines.append(
+        f"threads {run['num_threads']}  idle {run['idle_threads']}  "
+        f"imbalance {'n/a' if imb < 0 else f'{imb:.2f}x'}"
+        + (f"  s%={run['scheduled_pct'] * 100:.1f}"
+           if run.get("scheduled_pct") is not None else "")
+    )
+    busy = run["thread_busy_cycles"]
+    if busy:
+        peak = max(busy)
+        lines.append("per-thread busy cycles:")
+        for i, b in enumerate(busy):
+            bar = "#" * (round(b / peak * 30) if peak else 0)
+            lines.append(f"  thr{i:<3d} {b:>14,} {bar}")
+    metrics = doc.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if counters or gauges:
+        lines.append("metrics:")
+        for name, v in sorted(counters.items()):
+            lines.append(f"  {name:<34s} {v:,}")
+        for name, v in sorted(gauges.items()):
+            lines.append(f"  {name:<34s} {v:,.4g}")
+    for name, hist in sorted(metrics.get("histograms", {}).items()):
+        lines.append(render_histogram(name, hist))
+    if doc.get("trace_path"):
+        lines.append(f"span log: {doc['trace_path']}")
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from ..common.config import SimConfig
 from ..common.errors import SimulationError
 from ..common.rng import Rng
 from ..common.stats import Counters
+from ..obs.tracing import TraceEvent, Tracer
 from ..storage.database import Database
 from ..txn.operation import Key, OpKind
 from ..txn.transaction import Transaction
@@ -130,6 +131,10 @@ class PhaseResult:
     #: including retries and commit stalls; deferral wait is queueing
     #: time, not service time, and is excluded).
     latencies: tuple[int, ...] = ()
+    #: Per-committed-transaction retry count (aborted attempts before the
+    #: one that committed), in completion order — the raw data behind the
+    #: retry-count distribution histogram.
+    retry_counts: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> int:
@@ -163,6 +168,7 @@ class MulticoreEngine:
         dispatch_gate: "Optional[DispatchGate]" = None,
         versions: Optional[dict] = None,
         history: Optional[list] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config
         self.db = db if db is not None else Database()
@@ -171,6 +177,11 @@ class MulticoreEngine:
         self.progress_hooks = progress_hooks
         self.record_history = record_history
         self.apply_writes = apply_writes and db is not None
+        #: Optional structured-span sink (repro.obs).  Every emission is
+        #: guarded by one ``is not None`` check and never touches the
+        #: clock or any RNG stream, so a disabled tracer is free and a
+        #: traced run is bit-identical to an untraced one.
+        self.tracer = tracer
         #: Precedence gate for enforced CC-free execution (optional).
         self.dispatch_gate = dispatch_gate
         #: Shared committed-version store (one word per key); pass an
@@ -194,6 +205,7 @@ class MulticoreEngine:
         self._now = 0
         self._counters = Counters()
         self._latencies: list[int] = []
+        self._retry_counts: list[int] = []
         self._arrival_payload: dict[int, tuple[int, Transaction]] = {}
         self._arrived_at: dict[int, int] = {}
 
@@ -216,7 +228,12 @@ class MulticoreEngine:
         thread = self._threads[thread_id]
         if thread.phase != "blocked":
             return
-        self._counters.blocked_cycles += now - thread.active.blocked_since
+        waited = now - thread.active.blocked_since
+        self._counters.blocked_cycles += waited
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(now, thread_id, "wake",
+                                        thread.active.txn.tid,
+                                        {"waited": waited}))
         thread.phase = "op"
         self._schedule(now, thread_id)
 
@@ -247,6 +264,7 @@ class MulticoreEngine:
         self._now = start_time
         self._counters = Counters()
         self._latencies: list[int] = []
+        self._retry_counts: list[int] = []
         self._arrival_payload: dict[int, tuple[int, Transaction]] = {}
         self._arrived_at: dict[int, int] = {}
         for thread, txns in zip(self._threads, buffers):
@@ -288,6 +306,7 @@ class MulticoreEngine:
             counters=self._counters,
             thread_busy=tuple(t.busy for t in self._threads),
             latencies=tuple(self._latencies),
+            retry_counts=tuple(self._retry_counts),
         )
 
     # ------------------------------------------------------------------
@@ -348,6 +367,9 @@ class MulticoreEngine:
                 thread.buffer.append(txn)
                 self._counters.deferrals += 1
                 thread.busy += cost
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEvent(now, thread.id, "defer",
+                                                txn.tid, {"cost": cost}))
                 self._schedule(now + cost, thread.id)
                 return
         self._txn_seq += 1
@@ -359,6 +381,10 @@ class MulticoreEngine:
         thread.phase = "op"
         if self.progress_hooks is not None:
             self.progress_hooks.on_dispatch(thread.id, txn, now)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(now, thread.id, "dispatch", txn.tid,
+                                        {"ts": active.ts,
+                                         "ops": len(txn.ops)}))
         self._schedule(now + cost, thread.id)
 
     def _do_op(self, thread: _Thread, now: int) -> None:
@@ -371,11 +397,15 @@ class MulticoreEngine:
         op = active.txn.ops[active.op_index]
         result = self.protocol.on_access(active, op, now)
         if result.status is AccessStatus.ABORT:
-            self._abort(thread, now)
+            self._abort(thread, now, reason=result.reason or "access conflict")
             return
         if result.status is AccessStatus.WAIT:
             active.blocked_since = now
             thread.phase = "blocked"
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    now, thread.id, "block", active.txn.tid,
+                    {"op": active.op_index, "key": repr(op.record_key)}))
             return
         key = op.record_key
         if (not op.is_write and key not in active.write_buffer
@@ -385,6 +415,11 @@ class MulticoreEngine:
             # version observed first is the one the transaction saw.
             # Multi-version protocols report their snapshot's version.
             active.reads_log[key] = self.protocol.read_version(active, key)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                now, thread.id, "op", active.txn.tid,
+                {"op": active.op_index, "key": repr(key),
+                 "rw": "w" if op.is_write else "r"}))
         active.op_index += 1
         op_done = now + self.config.op_cost + self.config.cc_op_overhead
         if active.op_index < len(active.txn.ops):
@@ -399,8 +434,11 @@ class MulticoreEngine:
             self._schedule(max(op_done, bound), thread.id)
 
     def _do_precommit(self, thread: _Thread, now: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(now, thread.id, "validate",
+                                        thread.active.txn.tid))
         if not self.protocol.pre_commit(thread.active, now):
-            self._abort(thread, now)
+            self._abort(thread, now, reason="pre-commit lock conflict")
             return
         thread.phase = "commit"
         self._schedule(now + self.config.commit_overhead, thread.id)
@@ -408,7 +446,7 @@ class MulticoreEngine:
     def _do_commit(self, thread: _Thread, now: int) -> None:
         active = thread.active
         if not self.protocol.on_commit(active, now):
-            self._abort(thread, now)
+            self._abort(thread, now, reason="validation failed")
             return
         # Validation passed: install atomically at this instant.
         if self.record_history:
@@ -426,6 +464,10 @@ class MulticoreEngine:
                                 start_time=active.attempt_start)
             )
         self._counters.committed += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(now, thread.id, "commit",
+                                        active.txn.tid,
+                                        {"writes": len(active.write_buffer)}))
         thread.phase = "finish"
         self._schedule(now + active.txn.io_delay_cycles, thread.id)
 
@@ -437,12 +479,19 @@ class MulticoreEngine:
             self.progress_hooks.on_commit(thread.id, active.txn, now)
         thread.busy += now - thread.dispatch_began
         born = self._arrived_at.get(active.txn.tid, active.dispatched_at)
-        self._latencies.append(now - born)
+        latency = now - born
+        self._latencies.append(latency)
+        self._retry_counts.append(active.attempt)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(now, thread.id, "finish",
+                                        active.txn.tid,
+                                        {"attempts": active.attempt,
+                                         "latency": latency}))
         thread.active = None
         thread.phase = "dispatch"
         self._schedule(now, thread.id)
 
-    def _abort(self, thread: _Thread, now: int) -> None:
+    def _abort(self, thread: _Thread, now: int, reason: str = "") -> None:
         active = thread.active
         self.protocol.cleanup(active, False, now)
         self._counters.aborts += 1
@@ -454,6 +503,12 @@ class MulticoreEngine:
             )
         jitter_span = max(1, (self.config.abort_penalty + self.config.op_cost) // 2)
         restart = now + self.config.abort_penalty + self._rng.randint(0, jitter_span)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(now, thread.id, "abort",
+                                        active.txn.tid,
+                                        {"attempt": active.attempt,
+                                         "reason": reason,
+                                         "restart": restart}))
         active.reset_attempt(restart)
         thread.phase = "op"
         self._schedule(restart, thread.id)

@@ -44,6 +44,38 @@ class TestRun:
             main(["run", *SMALL, "--system", "magic"])
 
 
+class TestObservability:
+    def test_export_json_writes_valid_artifact(self, capsys, tmp_path):
+        from repro.obs import load_artifact
+
+        out_path = tmp_path / "run.json"
+        code, out = run_cli(capsys, "run", *SMALL, "--system", "tskd-s",
+                            "--export-json", str(out_path))
+        assert code == 0
+        assert "artifact:" in out
+        doc = load_artifact(out_path)  # validates on load
+        assert doc["workload"] == "ycsb"
+        assert doc["run"]["name"] == "TSKD[S]"
+
+    def test_trace_then_replay(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.trace.jsonl"
+        code, out = run_cli(capsys, "run", *SMALL, "--system", "dbcc",
+                            "--trace", str(trace_path))
+        assert code == 0
+        assert "trace:" in out
+        code, out = run_cli(capsys, "trace", str(trace_path), "--limit", "10")
+        assert code == 0
+        assert "dispatch" in out and "trace summary" in out
+
+    def test_report_renders_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        run_cli(capsys, "run", *SMALL, "--system", "dbcc",
+                "--export-json", str(out_path))
+        code, out = run_cli(capsys, "report", str(out_path))
+        assert code == 0
+        assert "txn/s" in out and "engine.committed" in out
+
+
 class TestCompare:
     def test_default_system_set(self, capsys):
         code, out = run_cli(capsys, "compare", *SMALL)

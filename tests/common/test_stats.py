@@ -34,8 +34,23 @@ class TestRunResult:
         assert make_result().imbalance_ratio == 4.0
         assert make_result(thread_busy_cycles=(5, 5)).imbalance_ratio == 1.0
 
-    def test_imbalance_with_idle_thread(self):
-        assert make_result(thread_busy_cycles=(0, 10)).imbalance_ratio == float("inf")
+    def test_imbalance_excludes_idle_threads(self):
+        # An idle thread did no work: it is counted separately instead of
+        # collapsing the ratio to inf.
+        r = make_result(thread_busy_cycles=(0, 10))
+        assert r.imbalance_ratio == 1.0
+        assert r.idle_threads == 1
+        r = make_result(thread_busy_cycles=(0, 10, 40))
+        assert r.imbalance_ratio == 4.0
+        assert r.idle_threads == 1
+
+    def test_imbalance_all_idle(self):
+        r = make_result(thread_busy_cycles=(0, 0))
+        assert r.imbalance_ratio == 1.0
+        assert r.idle_threads == 2
+
+    def test_metrics_field_excluded_from_equality(self):
+        assert make_result(metrics=None) == make_result(metrics=object())
 
     def test_summary_mentions_scheduled_pct(self):
         r = make_result(scheduled_pct=0.5)

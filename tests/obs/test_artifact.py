@@ -1,0 +1,115 @@
+"""Run artifacts: build, validate, export/load roundtrip."""
+
+import pytest
+
+from repro.bench.runner import run_system
+from repro.obs.artifact import (
+    SCHEMA_ID,
+    ArtifactError,
+    build_artifact,
+    export_run,
+    load_artifact,
+    validate_artifact,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def run(small_ycsb, small_exp):
+    return run_system(small_ycsb, "dbcc", small_exp)
+
+
+@pytest.fixture
+def doc(run, small_exp):
+    return build_artifact(run, config=small_exp, workload="ycsb")
+
+
+class TestBuild:
+    def test_schema_and_sections(self, doc):
+        assert doc["schema"] == SCHEMA_ID
+        assert doc["workload"] == "ycsb"
+        assert doc["run"]["committed"] == doc["metrics"]["counters"][
+            "engine.committed"]
+        assert doc["config"]["sim"]["num_threads"] == 4
+        assert doc["trace_path"] is None
+
+    def test_contains_headline_numbers(self, doc):
+        run = doc["run"]
+        assert run["throughput"] > 0
+        assert "retries_per_100k" in run
+        assert len(run["thread_busy_cycles"]) == run["num_threads"]
+        assert "latency.service_cycles" in doc["metrics"]["histograms"]
+
+    def test_validates(self, doc):
+        validate_artifact(doc)  # must not raise
+
+    def test_uses_result_metrics_when_not_passed(self, run):
+        doc = build_artifact(run)
+        assert doc["metrics"]["counters"]["engine.committed"] == run.committed
+
+    def test_explicit_registry_wins(self, run):
+        reg = MetricsRegistry()
+        reg.counter("only.mine").inc(1)
+        doc = build_artifact(run, metrics=reg)
+        assert doc["metrics"]["counters"] == {"only.mine": 1}
+
+
+class TestExportLoad:
+    def test_roundtrip(self, tmp_path, run, small_exp):
+        path = tmp_path / "out.json"
+        written = export_run(path, run, config=small_exp, workload="ycsb",
+                             trace_path="out.trace.jsonl")
+        loaded = load_artifact(path)
+        assert loaded == written
+        assert loaded["trace_path"] == "out.trace.jsonl"
+
+    def test_load_rejects_corrupted(self, tmp_path, run):
+        path = tmp_path / "out.json"
+        doc = export_run(path, run)
+        doc["run"].pop("throughput")
+        path.write_text(__import__("json").dumps(doc))
+        with pytest.raises(ArtifactError, match="throughput"):
+            load_artifact(path)
+
+
+class TestValidate:
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ArtifactError):
+            validate_artifact([1, 2])
+
+    def test_rejects_wrong_schema(self, doc):
+        with pytest.raises(ArtifactError, match="schema"):
+            validate_artifact({**doc, "schema": "repro.run/99"})
+
+    def test_rejects_missing_run_field(self, doc):
+        run = dict(doc["run"])
+        run.pop("committed")
+        with pytest.raises(ArtifactError, match="committed"):
+            validate_artifact({**doc, "run": run})
+
+    def test_rejects_wrong_type(self, doc):
+        run = {**doc["run"], "committed": "lots"}
+        with pytest.raises(ArtifactError, match="committed"):
+            validate_artifact({**doc, "run": run})
+
+    def test_rejects_bool_masquerading_as_int(self, doc):
+        run = {**doc["run"], "committed": True}
+        with pytest.raises(ArtifactError, match="committed"):
+            validate_artifact({**doc, "run": run})
+
+    def test_rejects_busy_length_mismatch(self, doc):
+        run = {**doc["run"],
+               "thread_busy_cycles": doc["run"]["thread_busy_cycles"][:-1]}
+        with pytest.raises(ArtifactError, match="thread_busy_cycles"):
+            validate_artifact({**doc, "run": run})
+
+    def test_rejects_histogram_count_mismatch(self, doc):
+        metrics = __import__("copy").deepcopy(doc["metrics"])
+        name, hist = next(iter(metrics["histograms"].items()))
+        hist["count"] += 1
+        with pytest.raises(ArtifactError, match=name):
+            validate_artifact({**doc, "metrics": metrics})
+
+    def test_rejects_non_string_trace_path(self, doc):
+        with pytest.raises(ArtifactError, match="trace_path"):
+            validate_artifact({**doc, "trace_path": 7})

@@ -1,0 +1,136 @@
+"""Metrics registry: counters, gauges, histograms, ingestion, merging."""
+
+import pytest
+
+from repro.common.stats import Counters
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_CYCLES,
+    RETRY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow(self):
+        h = Histogram("h", bounds=(10, 100))
+        h.observe_many([5, 10, 50, 1000])
+        assert h.counts == [2, 1, 1]  # <=10, <=100, overflow
+        assert h.total == 4
+        assert h.sum == 1065
+
+    def test_mean_and_quantile(self):
+        h = Histogram("h", bounds=(10, 100, 1000))
+        h.observe_many([1] * 90 + [500] * 9 + [5000])
+        assert h.mean == pytest.approx((90 + 4500 + 5000) / 100)
+        assert h.quantile(0.5) == 10
+        assert h.quantile(0.95) == 1000
+        assert h.quantile(1.0) == float("inf")
+
+    def test_empty(self):
+        h = Histogram("h", bounds=(1,))
+        assert h.mean == 0.0
+        assert h.quantile(0.99) == 0
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 5))
+
+    def test_default_bucket_sets_are_valid(self):
+        assert list(LATENCY_BUCKETS_CYCLES) == sorted(LATENCY_BUCKETS_CYCLES)
+        assert list(RETRY_BUCKETS) == sorted(RETRY_BUCKETS)
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(3)
+        reg.counter("a.b").inc()
+        assert reg.value("a.b") == 4
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(2.5)
+        assert reg.value("g") == 2.5
+
+    def test_value_of_unknown_is_none(self):
+        assert MetricsRegistry().value("nope") is None
+
+    def test_histogram_rebind_same_bounds(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h", (1, 2)) is reg.histogram("h", (1, 2))
+
+    def test_histogram_rebind_different_bounds_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("h", (1, 3))
+
+    def test_ingest_prefixes_and_accumulates(self):
+        reg = MetricsRegistry()
+        reg.ingest({"hits": 2}, prefix="x.")
+        reg.ingest({"hits": 3}, prefix="x.")
+        assert reg.value("x.hits") == 5
+
+    def test_ingest_counters_subsumes_engine_tallies(self):
+        reg = MetricsRegistry()
+        reg.ingest_counters(Counters(committed=7, aborts=2, wasted_cycles=90))
+        assert reg.value("engine.committed") == 7
+        assert reg.value("engine.aborts") == 2
+        assert reg.value("engine.wasted_cycles") == 90
+        assert reg.value("engine.blocked_cycles") == 0
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h", (10,)).observe(5)
+        b.histogram("h", (10,)).observe(50)
+        a.merge(b)
+        assert a.value("c") == 3
+        assert a.value("g") == 9.0  # gauges: last writer wins
+        assert a.histograms["h"].counts == [1, 1]
+        assert a.histograms["h"].total == 2
+
+    def test_dict_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(0.25)
+        reg.histogram("h", (1, 10)).observe_many([0, 5, 99])
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+
+
+class TestRunPopulation:
+    """run_system fills one registry with every component's numbers."""
+
+    def test_registry_rides_on_run_result(self, small_ycsb, small_exp):
+        from repro.bench.runner import run_system
+        from repro.core.tskd import TSKD
+
+        run = run_system(small_ycsb, TSKD.instance("S"), small_exp)
+        reg = run.metrics
+        assert reg is not None
+        assert reg.value("engine.committed") == run.committed
+        assert reg.value("cc.contended") is not None
+        assert reg.value("tsdefer.lookups") is not None
+        assert reg.value("tsgen.examined") is not None
+        assert reg.value("run.throughput_txn_s") == pytest.approx(
+            run.throughput)
+        lat = reg.histograms["latency.service_cycles"]
+        assert lat.total == run.committed
+        retries = reg.histograms["retries.per_txn"]
+        assert retries.total == run.committed
+
+    def test_caller_supplied_registry_accumulates(self, small_ycsb,
+                                                  small_exp):
+        from repro.bench.runner import run_system
+
+        reg = MetricsRegistry()
+        run_system(small_ycsb, "dbcc", small_exp, metrics=reg)
+        first = reg.value("engine.committed")
+        run_system(small_ycsb, "dbcc", small_exp, metrics=reg)
+        assert reg.value("engine.committed") == 2 * first

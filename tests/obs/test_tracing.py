@@ -1,0 +1,134 @@
+"""Tracing layer: span schema, zero-overhead guarantee, JSONL roundtrip."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.runner import run_system
+from repro.core.tskd import TSKD
+from repro.obs.tracing import (
+    EVENT_KINDS,
+    JsonlTracer,
+    ListTracer,
+    TraceEvent,
+    load_trace,
+    span_sequence,
+    validate_events,
+)
+
+
+class TestTraceEvent:
+    def test_dict_roundtrip(self):
+        e = TraceEvent(t=42, thread=3, kind="op", tid=17,
+                       attrs={"op": 0, "rw": "r"})
+        assert TraceEvent.from_dict(e.to_dict()) == e
+
+    def test_attrs_omitted_when_empty(self):
+        assert "attrs" not in TraceEvent(1, 0, "commit", 5).to_dict()
+
+
+class TestValidateEvents:
+    def test_accepts_monotone_known_kinds(self):
+        events = [TraceEvent(t, 0, "op", 1) for t in (1, 2, 2, 5)]
+        assert validate_events(events) is None
+
+    def test_rejects_unknown_kind(self):
+        problem = validate_events([TraceEvent(1, 0, "teleport", 1)])
+        assert "teleport" in problem
+
+    def test_rejects_clock_regression(self):
+        events = [TraceEvent(5, 0, "op", 1), TraceEvent(4, 0, "op", 1)]
+        assert "regressed" in validate_events(events)
+
+
+class TestEngineTrace:
+    """A deterministic YCSB micro-run emits a coherent span log."""
+
+    @pytest.fixture
+    def traced(self, small_ycsb, small_exp):
+        tracer = ListTracer()
+        result = run_system(small_ycsb, "dbcc", small_exp, tracer=tracer)
+        return tracer, result
+
+    def test_trace_is_valid(self, traced):
+        tracer, _ = traced
+        assert tracer.events, "engine emitted no events"
+        assert validate_events(tracer.events) is None
+
+    def test_every_commit_has_a_finish(self, traced):
+        tracer, result = traced
+        assert len(tracer.of_kind("commit")) == result.committed
+        assert len(tracer.of_kind("finish")) == result.committed
+        assert len(tracer.of_kind("abort")) == result.retries
+
+    def test_clean_txn_span_sequence(self, traced):
+        """dispatch -> op* -> validate -> commit -> finish, in virtual-clock
+        order, for any transaction that never aborted or deferred."""
+        tracer, _ = traced
+        dirty = {e.tid for e in tracer.events
+                 if e.kind in ("abort", "defer", "block")}
+        clean = [e.tid for e in tracer.of_kind("finish")
+                 if e.tid not in dirty]
+        assert clean, "no conflict-free transaction in the bundle"
+        for tid in clean[:5]:
+            seq = span_sequence(tracer.events, tid)
+            ops = len(seq) - 4
+            assert ops >= 1
+            assert seq == ["dispatch"] + ["op"] * ops + [
+                "validate", "commit", "finish"]
+            times = [e.t for e in tracer.for_tid(tid)]
+            assert times == sorted(times)
+
+    def test_aborted_attempt_reruns_its_ops(self, traced):
+        """Restart re-enters the op phase (no second dispatch): the span
+        log shows ops after the abort, and the attempt still finishes."""
+        tracer, _ = traced
+        aborted = tracer.of_kind("abort")
+        if not aborted:
+            pytest.skip("bundle ran conflict-free")
+        tid = aborted[0].tid
+        seq = span_sequence(tracer.events, tid)
+        after = seq[seq.index("abort") + 1:]
+        assert "op" in after and after[-1] == "finish"
+        assert aborted[0].attrs["reason"]
+        assert aborted[0].attrs["restart"] >= aborted[0].t
+
+    def test_only_known_kinds(self, traced):
+        tracer, _ = traced
+        assert {e.kind for e in tracer.events} <= set(EVENT_KINDS)
+
+
+class TestZeroOverhead:
+    """Tracing must never perturb the simulation."""
+
+    def test_traced_result_identical_dbcc(self, small_ycsb, small_exp):
+        plain = run_system(small_ycsb, "dbcc", small_exp)
+        traced = run_system(small_ycsb, "dbcc", small_exp,
+                            tracer=ListTracer())
+        assert plain == traced  # metrics field excluded from equality
+
+    def test_traced_result_identical_tskd(self, small_ycsb, small_exp):
+        plain = run_system(small_ycsb, TSKD.instance("S"), small_exp)
+        traced = run_system(small_ycsb, TSKD.instance("S"), small_exp,
+                            tracer=ListTracer())
+        assert plain == traced
+
+
+class TestJsonlTracer:
+    def test_stream_and_reload(self, tmp_path, small_ycsb, small_exp):
+        path = tmp_path / "run.trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            run_system(small_ycsb, "dbcc", small_exp, tracer=tracer)
+        events = list(load_trace(path))
+        assert len(events) == tracer.emitted > 0
+        assert validate_events(events) is None
+
+    def test_one_json_object_per_line(self):
+        buf = io.StringIO()
+        tracer = JsonlTracer(buf)
+        tracer.emit(TraceEvent(1, 0, "dispatch", 9, {"ops": 3}))
+        tracer.emit(TraceEvent(2, 0, "commit", 9))
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["tid"] == 9
