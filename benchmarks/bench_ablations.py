@@ -8,14 +8,17 @@ from repro.bench.experiments import run_experiment
 
 @pytest.mark.parametrize("exp_id", ["abl_tsgen", "abl_tsdefer",
                                     "abl_residual_assign", "abl_latency",
-                                    "abl_queue_execution"])
-def test_ablation(benchmark, exp_id, scale, results_dir):
+                                    "abl_queue_execution",
+                                    "abl_cc_matrix"])
+def test_ablation(benchmark, exp_id, scale, results_dir, exp_kwargs):
     series = benchmark.pedantic(
-        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+        run_experiment, args=(exp_id, scale), kwargs=exp_kwargs,
+        rounds=1, iterations=1
     )
     save_series(results_dir, series)
     for system in series.systems():
-        assert series.get(system, "ycsb").throughput > 0
+        for x in series.x_values:
+            assert series.get(system, x).throughput > 0
 
 
 def test_isolation_ablation(benchmark, scale, results_dir):

@@ -16,9 +16,10 @@ PANELS = [
 
 
 @pytest.mark.parametrize("exp_id", PANELS)
-def test_fig4_panel(benchmark, exp_id, scale, results_dir):
+def test_fig4_panel(benchmark, exp_id, scale, results_dir, exp_kwargs):
     series = benchmark.pedantic(
-        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+        run_experiment, args=(exp_id, scale), kwargs=exp_kwargs,
+        rounds=1, iterations=1
     )
     save_series(results_dir, series)
     assert series.x_values

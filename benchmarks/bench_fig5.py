@@ -10,9 +10,10 @@ PANELS = ["fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f",
 
 
 @pytest.mark.parametrize("exp_id", PANELS)
-def test_fig5_panel(benchmark, exp_id, scale, results_dir):
+def test_fig5_panel(benchmark, exp_id, scale, results_dir, exp_kwargs):
     series = benchmark.pedantic(
-        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+        run_experiment, args=(exp_id, scale), kwargs=exp_kwargs,
+        rounds=1, iterations=1
     )
     save_series(results_dir, series)
     for system in series.systems():

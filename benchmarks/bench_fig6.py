@@ -4,9 +4,10 @@ from conftest import save_series
 from repro.bench.experiments import run_experiment
 
 
-def test_fig6(benchmark, scale, results_dir):
+def test_fig6(benchmark, scale, results_dir, exp_kwargs):
     series = benchmark.pedantic(
-        run_experiment, args=("fig6", scale), rounds=1, iterations=1
+        run_experiment, args=("fig6", scale), kwargs=exp_kwargs,
+        rounds=1, iterations=1
     )
     save_series(results_dir, series)
     # Raw throughput must degrade as worst-case I/O latency grows.

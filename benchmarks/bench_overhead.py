@@ -9,9 +9,10 @@ from conftest import save_series
 from repro.bench.experiments import run_experiment
 
 
-def test_overhead(benchmark, scale, results_dir):
+def test_overhead(benchmark, scale, results_dir, exp_kwargs):
     series = benchmark.pedantic(
-        run_experiment, args=("overhead", scale), rounds=1, iterations=1
+        run_experiment, args=("overhead", scale), kwargs=exp_kwargs,
+        rounds=1, iterations=1
     )
     save_series(results_dir, series)
     # Against graph-cutting Schism the scheduling pass must stay a

@@ -1,0 +1,85 @@
+"""Parallel executor scaling: the same sweep at increasing --jobs.
+
+Measures wall-clock for a quick-scale figure regeneration at jobs 1, 2
+and 4, asserts every run is bit-identical (the determinism contract of
+docs/parallel.md), and records the honest numbers — including the core
+count, since speedup > 1 requires at least as many physical cores as
+workers — to ``benchmarks/results/parallel_speedup.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.experiments import QUICK, run_experiment
+from repro.bench.parallel import run_experiment_cells
+
+EXP_ID = "fig4a"
+JOBS = (1, 2, 4)
+
+
+def test_parallel_speedup_recorded(results_dir):
+    timings: dict[int, float] = {}
+    payloads: dict[int, dict] = {}
+    for jobs in JOBS:
+        t0 = time.perf_counter()
+        series, report = run_experiment_cells(EXP_ID, QUICK, jobs=jobs)
+        timings[jobs] = time.perf_counter() - t0
+        payloads[jobs] = series.to_payload()
+        assert report.failed == []
+        assert report.executed == report.total_cells
+    for jobs in JOBS[1:]:
+        assert payloads[jobs] == payloads[1], f"jobs={jobs} diverged"
+
+    base = timings[1]
+    lines = [
+        f"parallel executor scaling: {EXP_ID} at quick scale "
+        f"({len(payloads[1]['cells'])} series cells)",
+        f"machine: {os.cpu_count()} cpu core(s)",
+    ]
+    for jobs in JOBS:
+        lines.append(f"  --jobs {jobs}: {timings[jobs]:6.2f}s"
+                     f"  (speedup x{base / timings[jobs]:.2f})")
+    lines.append("all runs bit-identical; speedup > 1 requires at least "
+                 "as many physical cores as --jobs (spawn + IPC overhead "
+                 "dominates on fewer).")
+    out = results_dir / "parallel_speedup.txt"
+    out.write_text("\n".join(lines) + "\n")
+
+
+def test_resume_skips_all_finished_cells(results_dir, tmp_path):
+    fresh, r1 = run_experiment_cells(EXP_ID, QUICK, jobs=2,
+                                     cache_dir=tmp_path)
+    t0 = time.perf_counter()
+    resumed, r2 = run_experiment_cells(EXP_ID, QUICK, jobs=2,
+                                       cache_dir=tmp_path, resume=True)
+    resume_s = time.perf_counter() - t0
+    assert r2.executed == 0 and r2.resumed == r1.total_cells
+    assert resumed.to_payload() == fresh.to_payload()
+    with (results_dir / "parallel_speedup.txt").open("a") as fh:
+        fh.write(f"  --resume (all {r2.resumed} cells cached): "
+                 f"{resume_s:6.2f}s\n")
+
+
+def test_executor_overhead_vs_sequential(benchmark):
+    """pytest-benchmark row: one quick-scale sweep through the executor
+    (spawn pool, jobs=1), comparable against the figure benchmarks that
+    run the sequential path.
+
+    The cross-check uses fig5a: its code path is hash-seed independent,
+    so the executor (which pins PYTHONHASHSEED=0 in its workers) must
+    match an in-process sequential run no matter how this pytest process
+    was launched.  fig4a's partitioners are exactly the code the pinning
+    exists for — see docs/parallel.md.
+    """
+    series, report = benchmark.pedantic(
+        run_experiment_cells, args=(EXP_ID, QUICK),
+        kwargs={"jobs": 1}, rounds=1, iterations=1
+    )
+    assert report.failed == []
+    for system in series.systems():
+        for x in series.x_values:
+            assert series.get(system, x).throughput > 0
+    cross, _ = run_experiment_cells("fig5a", QUICK, jobs=1)
+    assert cross.to_payload() == run_experiment("fig5a", QUICK).to_payload()

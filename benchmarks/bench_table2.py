@@ -4,9 +4,10 @@ from conftest import save_series
 from repro.bench.experiments import run_experiment
 
 
-def test_table2(benchmark, scale, results_dir):
+def test_table2(benchmark, scale, results_dir, exp_kwargs):
     series = benchmark.pedantic(
-        run_experiment, args=("table2", scale), rounds=1, iterations=1
+        run_experiment, args=("table2", scale), kwargs=exp_kwargs,
+        rounds=1, iterations=1
     )
     save_series(results_dir, series)
     # A decent share of the residual is scheduled (paper: 20.8% - 69.7%).

@@ -22,6 +22,31 @@ BENCH_SCALE = Scale(name="bench", bundle=800, seeds=(0, 1), threads=16,
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "parallel experiment execution")
+    group.addoption("--jobs", type=int, default=None,
+                    help="fan experiment cells out over N worker processes")
+    group.addoption("--exp-cache-dir", default=None,
+                    help="persist finished cells/workloads here")
+    group.addoption("--exp-resume", action="store_true",
+                    help="skip cells already present in --exp-cache-dir")
+
+
+@pytest.fixture(scope="session")
+def exp_kwargs(request) -> dict:
+    """Parallel-executor kwargs for run_experiment, from the CLI.
+
+    All defaults are inert: a plain ``pytest benchmarks/`` takes the
+    sequential path exactly as before (docs/parallel.md guarantees the
+    numbers are bit-identical either way).
+    """
+    return {
+        "jobs": request.config.getoption("--jobs"),
+        "cache_dir": request.config.getoption("--exp-cache-dir"),
+        "resume": request.config.getoption("--exp-resume"),
+    }
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -3,3 +3,7 @@
 from .runner import engine_of, run_system, system_name
 
 __all__ = ["engine_of", "run_system", "system_name"]
+
+# repro.bench.parallel (the cell executor) and repro.bench.cache (the
+# workload build cache) are imported lazily by their users; importing
+# them here would make every `import repro` pay for multiprocessing.

@@ -138,6 +138,8 @@ def abl_latency(scale: Scale) -> Series:
                   systems, exp, scale.seeds)
     for name in s.systems():
         cell = s.get(name, "ycsb")
+        if cell is None:
+            continue  # planning pass of the parallel executor: no cells yet
         s.notes.append(f"{name}: p50={cell.latency_p50:,.0f}cy "
                        f"p99={cell.latency_p99:,.0f}cy")
     return s
@@ -174,6 +176,31 @@ def abl_queue_execution(scale: Scale) -> Series:
     return s
 
 
+def abl_cc_matrix(scale: Scale) -> Series:
+    """Differential CC coverage: DBCC under every protocol in repro.cc.
+
+    Runs the same YCSB bundle under every concurrency-control protocol
+    the registry knows, including ``hstore`` and the multi-version
+    protocols.  ``none`` (no CC at all) runs single-threaded, the only
+    configuration where CC-free execution is safe.  The differential
+    test layer drives this matrix through both the sequential and the
+    parallel harness paths and checks each protocol's history against
+    the serializability / snapshot-isolation oracles.
+    """
+    from ..cc import PROTOCOLS
+
+    xs = sorted(PROTOCOLS)
+    s = Series("abl_cc_matrix", "CC protocol matrix (YCSB, DBCC)", "CC", xs)
+    for cc in xs:
+        exp = default_exp(scale)
+        threads = 1 if cc == "none" else exp.sim.num_threads
+        exp = exp.with_(sim=exp.sim.with_(cc=cc, num_threads=threads))
+        measure_point(s, cc,
+                      lambda seed, e=exp: ycsb_workload(scale, e, 0.8, seed),
+                      [("DBCC", lambda: "dbcc")], exp, scale.seeds)
+    return s
+
+
 ABLATIONS = {
     "abl_tsgen": abl_tsgen,
     "abl_tsdefer": abl_tsdefer,
@@ -181,4 +208,5 @@ ABLATIONS = {
     "abl_isolation": abl_isolation,
     "abl_latency": abl_latency,
     "abl_queue_execution": abl_queue_execution,
+    "abl_cc_matrix": abl_cc_matrix,
 }

@@ -7,6 +7,14 @@ Run from the command line::
 
     python -m repro.bench.experiments fig4a fig5a
     python -m repro.bench.experiments all --quick
+    python -m repro.bench.experiments --list
+    python -m repro.bench.experiments fig4a --jobs 4 --cache-dir .cache --resume
+
+``--jobs N`` fans the (sweep point, system, seed) cells out over N
+worker processes with bit-identical output (see docs/parallel.md);
+``--cache-dir`` adds workload caching plus per-cell artifacts,
+``--resume`` skips cells already persisted there, and ``--retries K``
+re-runs crashed cells up to K extra times.
 
 Scales: the default bench scale uses bundles of 1,200 transactions, two
 seeds and trimmed sweeps so the whole suite finishes on a laptop;
@@ -34,6 +42,7 @@ from ..common.config import (
     YcsbConfig,
     TSDEFER_DISABLED,
 )
+from ..common.errors import ReproError
 from ..common.rng import Rng
 from ..core.tskd import TSKD
 from ..partition import (
@@ -42,6 +51,7 @@ from ..partition import (
     StrifePartitioner,
 )
 from ..txn.workload import Workload
+from .cache import cached_workload
 from .reporting import Cell, Series
 from .runner import run_system
 from .workloads import TpccGenerator, YcsbGenerator, apply_io_latency, apply_runtime_skew
@@ -89,18 +99,26 @@ def default_exp(scale: Scale) -> ExperimentConfig:
 def ycsb_workload(scale: Scale, exp: ExperimentConfig, theta: float, seed: int,
                   records: int | None = None) -> Workload:
     cfg = YcsbConfig(num_records=records or scale.ycsb_records, theta=theta)
-    w = YcsbGenerator(cfg, seed=seed).make_workload(scale.bundle)
-    _apply_extensions(w, exp, seed)
-    return w
+
+    def build() -> Workload:
+        w = YcsbGenerator(cfg, seed=seed).make_workload(scale.bundle)
+        _apply_extensions(w, exp, seed)
+        return w
+
+    return cached_workload("ycsb", cfg, scale.bundle, exp, seed, build)
 
 
 def tpcc_workload(scale: Scale, exp: ExperimentConfig, seed: int,
                   cross_pct: float = 0.25, warehouses: int | None = None) -> Workload:
     cfg = TpccConfig(num_warehouses=warehouses or scale.tpcc_warehouses,
                      cross_pct=cross_pct)
-    w = TpccGenerator(cfg, seed=seed).make_workload(scale.bundle)
-    _apply_extensions(w, exp, seed)
-    return w
+
+    def build() -> Workload:
+        w = TpccGenerator(cfg, seed=seed).make_workload(scale.bundle)
+        _apply_extensions(w, exp, seed)
+        return w
+
+    return cached_workload("tpcc", cfg, scale.bundle, exp, seed, build)
 
 
 def _apply_extensions(w: Workload, exp: ExperimentConfig, seed: int) -> None:
@@ -160,7 +178,25 @@ def measure_point(
     exp: ExperimentConfig,
     seeds: Sequence[int],
 ) -> None:
-    """Run every system at one sweep point, averaged over seeds."""
+    """Run every system at one sweep point, averaged over seeds.
+
+    This is the single funnel every experiment's measurements pass
+    through, which is what lets the parallel executor decompose any
+    experiment into run cells: under an active executor context the call
+    is intercepted (planned or narrowed to one cell) instead of running
+    the full point here.  See :mod:`repro.bench.parallel`.
+    """
+    from .parallel import (
+        accumulate,
+        cell_vector,
+        intercept_point,
+        new_accumulator,
+        vector_to_cell,
+    )
+
+    systems = list(systems)
+    if intercept_point(series, x, workload_factory, systems, exp, seeds):
+        return
     sums: dict[str, list[float]] = {}
     for seed in seeds:
         workload = workload_factory(seed)
@@ -168,26 +204,10 @@ def measure_point(
         for name, factory in systems:
             r = run_system(workload, factory(), exp.with_(seed=seed),
                            graph=graph, name=name)
-            acc = sums.setdefault(name, [0.0] * 8)
-            acc[0] += r.throughput
-            acc[1] += r.retries_per_100k
-            acc[2] += r.deferrals
-            acc[3] += r.scheduled_pct if r.scheduled_pct is not None else -1.0
-            acc[4] += 1.0 if r.scheduled_pct is not None else 0.0
-            acc[5] += r.imbalance_ratio if r.imbalance_ratio != float("inf") else 0.0
-            acc[6] += r.latency_p50
-            acc[7] += r.latency_p99
-    n = len(seeds)
+            accumulate(sums.setdefault(name, new_accumulator()),
+                       cell_vector(r))
     for name, acc in sums.items():
-        series.put(name, x, Cell(
-            throughput=acc[0] / n,
-            retries_per_100k=acc[1] / n,
-            deferrals=acc[2] / n,
-            scheduled_pct=(acc[3] / acc[4]) if acc[4] else None,
-            imbalance=acc[5] / n,
-            latency_p50=acc[6] / n,
-            latency_p99=acc[7] / n,
-        ))
+        series.put(name, x, vector_to_cell(acc, len(seeds)))
 
 
 # ---------------------------------------------------------------------------
@@ -516,43 +536,148 @@ EXPERIMENTS: dict[str, Callable[[Scale], Series]] = {
 }
 
 
-def run_experiment(exp_id: str, scale: Scale = BENCH) -> Series:
-    """Run one experiment (or ablation) by id and return its series."""
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id matched neither the registry nor the ablations.
+
+    Subclasses :class:`KeyError` for callers that predate it.
+    """
+
+    def __init__(self, exp_id: str):
+        self.exp_id = exp_id
+        super().__init__(
+            f"unknown experiment {exp_id!r}; valid ids: "
+            f"{', '.join(list_experiment_ids())} "
+            f"(run 'experiment --list' to see them)"
+        )
+
+    def __str__(self) -> str:  # undo KeyError's repr-quoting of args
+        return self.args[0]
+
+
+def list_experiment_ids() -> list[str]:
+    """Every runnable experiment id: figures/tables, then ablations."""
+    from .ablations import ABLATIONS  # local import: ablations import us
+
+    return sorted(EXPERIMENTS) + sorted(ABLATIONS)
+
+
+def lookup_experiment(exp_id: str) -> Callable[[Scale], Series]:
+    """Resolve an experiment id to its function.
+
+    Accepts registry ids (``fig4a``, ``abl_tsgen``) and dotted
+    references ``package.module:function`` for out-of-tree experiments —
+    the latter is what lets the spawn-based parallel workers run
+    experiments defined outside this package.
+    """
     fn = EXPERIMENTS.get(exp_id)
     if fn is None:
         from .ablations import ABLATIONS  # local import: ablations import us
 
         fn = ABLATIONS.get(exp_id)
-    if fn is None:
-        from .ablations import ABLATIONS
+    if fn is None and ":" in exp_id:
+        import importlib
 
-        known = sorted(EXPERIMENTS) + sorted(ABLATIONS)
-        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
-    return fn(scale)
+        module_name, _, attr = exp_id.partition(":")
+        try:
+            fn = getattr(importlib.import_module(module_name), attr)
+        except (ImportError, AttributeError) as e:
+            raise UnknownExperimentError(exp_id) from e
+    if fn is None:
+        raise UnknownExperimentError(exp_id)
+    return fn
+
+
+def run_experiment(
+    exp_id: str,
+    scale: Scale = BENCH,
+    *,
+    jobs: int | None = None,
+    cache_dir=None,
+    resume: bool = False,
+    retries: int = 0,
+) -> Series:
+    """Run one experiment (or ablation) by id and return its series.
+
+    With ``jobs=None`` (the default) the experiment runs sequentially in
+    this process.  Any other value routes it through the parallel cell
+    executor (:mod:`repro.bench.parallel`): ``jobs`` spawn workers,
+    optional ``cache_dir`` for workload caching and per-cell artifacts,
+    ``resume`` to skip already-persisted cells, ``retries`` to re-run
+    crashed cells.  Executor output is bit-identical for every ``jobs``
+    value.
+    """
+    if jobs is None and cache_dir is None and not resume:
+        return lookup_experiment(exp_id)(scale)
+    from .parallel import run_experiment_cells
+
+    series, _report = run_experiment_cells(
+        exp_id, scale, jobs=jobs if jobs is not None else 1,
+        cache_dir=cache_dir, resume=resume, retries=retries)
+    return series
+
+
+def _pop_flag(args: list[str], name: str) -> bool:
+    if name in args:
+        args.remove(name)
+        return True
+    return False
+
+
+def _pop_option(args: list[str], name: str) -> str | None:
+    """Remove ``--name VALUE`` or ``--name=VALUE`` from args, if present."""
+    for i, arg in enumerate(args):
+        if arg == name:
+            if i + 1 >= len(args):
+                raise SystemExit(f"{name} requires a value")
+            args.pop(i)
+            return args.pop(i)
+        if arg.startswith(name + "="):
+            args.pop(i)
+            return arg.split("=", 1)[1]
+    return None
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     scale = BENCH
-    if "--quick" in args:
-        args.remove("--quick")
+    if _pop_flag(args, "--quick"):
         scale = QUICK
-    if "--paper" in args:
-        args.remove("--paper")
+    if _pop_flag(args, "--paper"):
         scale = PAPER
-    charts = "--charts" in args
-    if charts:
-        args.remove("--charts")
-    want_summary = "--summary" in args
-    if want_summary:
-        args.remove("--summary")
+    charts = _pop_flag(args, "--charts")
+    want_summary = _pop_flag(args, "--summary")
+    if _pop_flag(args, "--list"):
+        for exp_id in list_experiment_ids():
+            print(exp_id)
+        return 0
+    jobs_opt = _pop_option(args, "--jobs")
+    cache_dir = _pop_option(args, "--cache-dir")
+    resume = _pop_flag(args, "--resume")
+    retries_opt = _pop_option(args, "--retries")
+    try:
+        jobs = int(jobs_opt) if jobs_opt is not None else None
+        retries = int(retries_opt) if retries_opt is not None else 0
+    except ValueError as e:
+        raise SystemExit(f"--jobs/--retries need integers: {e}")
+    parallel = jobs is not None or cache_dir is not None or resume
     ids = args or ["fig4a"]
     if ids == ["all"]:
         ids = list(EXPERIMENTS)
     collected = []
     for exp_id in ids:
         t0 = time.perf_counter()
-        series = run_experiment(exp_id, scale)
+        try:
+            if parallel:
+                from .parallel import run_experiment_cells
+
+                series, report = run_experiment_cells(
+                    exp_id, scale, jobs=jobs if jobs is not None else 1,
+                    cache_dir=cache_dir, resume=resume, retries=retries)
+            else:
+                series, report = run_experiment(exp_id, scale), None
+        except UnknownExperimentError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
         collected.append(series)
         print(series.render())
         if charts:
@@ -560,6 +685,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             print()
             print(series_charts(series))
+        if report is not None:
+            print(f"  {report.summary()}")
         print(f"  [{exp_id} took {time.perf_counter() - t0:.1f}s at scale "
               f"{scale.name}]\n")
     if want_summary:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable
 
 from ..common.stats import improvement_pct, reduction_pct
@@ -64,6 +64,31 @@ class Series:
             if system not in seen:
                 seen.append(system)
         return seen
+
+    def to_payload(self) -> dict:
+        """The series as plain data, for exact comparison/serialisation.
+
+        Cells are listed in a canonical order (by x position, then
+        system registration order) with every measured field, so two
+        payloads are ``==`` iff the runs produced bit-identical numbers
+        — the determinism tests compare these.
+        """
+        order = {repr(x): i for i, x in enumerate(self.x_values)}
+        systems = {name: i for i, name in enumerate(self.systems())}
+        cells = [
+            {"system": system, "x": x, **asdict(cell)}
+            for (system, x), cell in self.cells.items()
+        ]
+        cells.sort(key=lambda c: (order.get(repr(c["x"]), len(order)),
+                                  systems.get(c["system"], len(systems))))
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "cells": cells,
+            "notes": list(self.notes),
+        }
 
     def improvement(self, ours: str, baseline: str, x) -> float:
         """Throughput improvement of ``ours`` over ``baseline`` at x, in %.

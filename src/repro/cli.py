@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Sequence
 
 from .bench.experiments import main as experiments_main
@@ -210,6 +211,11 @@ def cmd_tune(args) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["experiment"] and not {"-h", "--help"} & set(argv[1:]):
+        # Hand the whole tail to the experiments CLI: argparse.REMAINDER
+        # refuses to swallow a leading flag (``experiment --list``).
+        return experiments_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 

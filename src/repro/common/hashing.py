@@ -1,0 +1,101 @@
+"""Stable content hashing for configurations and cell keys.
+
+The parallel experiment executor identifies work by *content*: a run
+cell or a cached workload is addressed by a hash of the configuration
+that produced it, never by object identity or in-memory ordering.  That
+only works if the hash is stable — the same configuration must hash the
+same in every process, on every run, on every machine:
+
+* dataclasses are serialised field-by-field in declared order, tagged
+  with the class name so two classes with identical fields do not
+  collide;
+* dicts, sets and frozensets are sorted by their canonical encoding, so
+  insertion order never leaks into the hash;
+* floats rely on ``repr``-based shortest round-trip formatting (stable
+  since Python 3.1); NaN and infinities are rejected because they have
+  no canonical JSON form;
+* anything identity-based (functions, arbitrary objects) is rejected
+  loudly instead of hashing ``id()`` by accident.
+
+See ``tests/property/test_prop_cellkey.py`` for the properties this
+module guarantees.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import math
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from .errors import ConfigError
+
+#: Bump when the canonical encoding changes shape, so stale disk caches
+#: are invalidated rather than misread.
+HASH_FORMAT = "repro.hash/1"
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-encodable primitives, deterministically.
+
+    Raises :class:`ConfigError` for values with no stable encoding.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj) or math.isinf(obj):
+            raise ConfigError(f"cannot canonically hash non-finite float {obj!r}")
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__qualname__, "name": obj.name}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, Any] = {"__dataclass__": type(obj).__qualname__}
+        for f in fields(obj):
+            if not f.init and f.name.startswith("_"):
+                continue  # derived caches, not configuration
+            out[f.name] = canonical_payload(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        encoded = [canonical_payload(v) for v in obj]
+        return {"__set__": sorted(encoded, key=_sort_key)}
+    if isinstance(obj, dict):
+        pairs = [[canonical_payload(k), canonical_payload(v)]
+                 for k, v in obj.items()]
+        pairs.sort(key=lambda kv: _sort_key(kv[0]))
+        return {"__dict__": pairs}
+    raise ConfigError(
+        f"cannot canonically hash {type(obj).__qualname__!r}; only "
+        f"dataclasses, enums, and JSON-like primitives are hashable"
+    )
+
+
+def _sort_key(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON encoding whose bytes :func:`config_hash` digests."""
+    return json.dumps(canonical_payload(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def config_hash(obj: Any) -> str:
+    """A stable 64-bit-collision-safe hex digest of a configuration."""
+    digest = hashlib.sha256()
+    digest.update(HASH_FORMAT.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical_json(obj).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def stable_repr(value: Any) -> str:
+    """Canonical string form of a sweep-axis value (float/int/str/...).
+
+    Distinguishes ``0.8`` from ``"0.8"`` and is identical across
+    processes; used as the ``x`` component of a cell key.
+    """
+    return canonical_json(value)

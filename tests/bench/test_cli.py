@@ -95,6 +95,36 @@ class TestExperimentAndTune:
         assert code == 0
         assert "fig5a" in out
 
+    def test_experiment_list_prints_every_id(self, capsys):
+        from repro.bench.experiments import list_experiment_ids
+
+        code, out = run_cli(capsys, "experiment", "--list")
+        assert code == 0
+        ids = out.split()
+        assert ids == list_experiment_ids()
+        assert "fig4a" in ids and "abl_cc_matrix" in ids
+
+    def test_experiment_unknown_id_fails_listing_valid_ids(self, capsys):
+        code = main(["experiment", "no_such_figure", "--quick"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no_such_figure" in captured.err
+        assert "fig4a" in captured.err and "fig5a" in captured.err
+
+    def test_experiment_parallel_flags_and_resume(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "experiment", "fig5a", "--quick",
+                            "--jobs", "1", "--cache-dir", str(tmp_path),
+                            "--retries", "1")
+        assert code == 0
+        assert "cells=4" in out and "cached=0" in out and "failed=0" in out
+        # Rerun with --resume: every cell must come from the cache.
+        code, out = run_cli(capsys, "experiment", "fig5a", "--quick",
+                            "--jobs", "2", "--cache-dir", str(tmp_path),
+                            "--resume")
+        assert code == 0
+        assert "executed=0" in out and "cached=4" in out
+        assert list((tmp_path / "cells" / "fig5a").glob("*.json"))
+
     def test_tune_prints_config(self, capsys):
         code, out = run_cli(capsys, "tune", "--workload", "ycsb", "--bundle",
                             "120", "--threads", "4", "--records", "20000")

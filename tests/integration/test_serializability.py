@@ -1,15 +1,33 @@
 """End-to-end isolation: every protocol, with and without TSKD, must
-produce conflict-serializable histories on contended workloads."""
+produce conflict-serializable histories on contended workloads.
+
+Coverage contract: every protocol in ``repro.cc.PROTOCOLS`` is checked
+against the serial oracle (:func:`assert_serializable`, or
+:func:`assert_snapshot_consistent` for snapshot-isolation MVCC) on
+shared randomized workloads, and the sequential and parallel harness
+paths must agree bit-for-bit on the full CC matrix.
+"""
 
 import pytest
 
 from repro.bench.runner import engine_of, run_system
-from repro.common import ExperimentConfig, SimConfig
+from repro.cc import PROTOCOLS
+from repro.common import ExperimentConfig, SimConfig, YcsbConfig
 from repro.core.tskd import TSKD
 from repro.partition import StrifePartitioner
-from repro.sim import assert_serializable
+from repro.sim import assert_serializable, assert_snapshot_consistent
 
-ALL_CC = ["occ", "silo", "tictoc", "nowait", "waitdie"]
+#: Protocols whose histories must be conflict-serializable under
+#: concurrency.  "mvcc" upholds snapshot isolation only, and "none"
+#: (no CC at all) is safe only single-threaded; they get their own
+#: oracle below.
+ALL_CC = ["occ", "silo", "tictoc", "nowait", "waitdie", "mvcc_ser", "hstore"]
+
+
+def test_every_registry_protocol_has_oracle_coverage():
+    """Adding a protocol to repro.cc without wiring it into this suite
+    must fail loudly."""
+    assert set(ALL_CC) | {"mvcc", "none"} == set(PROTOCOLS)
 
 
 @pytest.mark.parametrize("cc", ALL_CC)
@@ -35,40 +53,73 @@ class TestProtocolsOnContendedYcsb:
         assert_serializable(engine_of(r).history)
 
 
-@pytest.mark.parametrize("cc", ["occ", "silo", "tictoc"])
-class TestProtocolsOnTpcc:
-    def test_tpcc_histories_serializable(self, small_tpcc, cc):
-        exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc=cc))
-        r = run_system(small_tpcc, TSKD.instance("H"), exp,
+class TestSnapshotIsolationOracle:
+    def test_mvcc_history_snapshot_consistent(self, small_ycsb):
+        exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc="mvcc"))
+        r = run_system(small_ycsb, "dbcc", exp, record_history=True)
+        assert r.committed == len(small_ycsb)
+        assert_snapshot_consistent(engine_of(r).history)
+
+    def test_mvcc_under_tskd_snapshot_consistent(self, small_ycsb):
+        exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc="mvcc"))
+        r = run_system(small_ycsb, TSKD.instance("CC"), exp,
                        record_history=True)
-        assert r.committed == len(small_tpcc)
+        assert_snapshot_consistent(engine_of(r).history)
+
+
+class TestNoCCSingleThreaded:
+    def test_nocc_serial_execution_is_serializable(self, small_ycsb):
+        """"none" has no safety net, so it is only valid single-threaded
+        — where the history is literally serial."""
+        exp = ExperimentConfig(sim=SimConfig(num_threads=1, cc="none"))
+        r = run_system(small_ycsb, "dbcc", exp, record_history=True)
+        assert r.committed == len(small_ycsb)
+        assert r.retries == 0
         assert_serializable(engine_of(r).history)
 
 
-class TestStorageConsistency:
-    def test_tpcc_execution_against_real_storage(self, small_exp):
-        """Run TPC-C against a populated database; every committed write
-        must land, and the history must be serializable."""
-        from repro.bench.workloads import TpccGenerator
-        from repro.common import TpccConfig
-        from repro.storage import Database
+@pytest.fixture(params=[7, 11], ids=lambda s: f"seed{s}")
+def randomized_ycsb(request):
+    """Shared randomized workloads: every protocol below sees the exact
+    same bundles, so oracle failures are attributable to the protocol."""
+    from repro.bench.workloads import YcsbGenerator
 
-        gen = TpccGenerator(TpccConfig(num_warehouses=4,
-                                       customers_per_district=20,
-                                       items=50), seed=13)
-        w = gen.make_workload(80)
-        db = Database()
-        gen.populate(db)
-        before = db.total_records()
-        r = run_system(w, StrifePartitioner(), small_exp,
-                       record_history=True, db=db)
-        engine = engine_of(r)
-        assert r.committed == len(w)
-        assert_serializable(engine.history)
-        # NewOrder inserts grew the order tables.
-        inserts = sum(
-            1 for t in w for op in t.ops if op.kind.name == "INSERT"
-        )
-        assert db.total_records() >= before  # inserts may overlap history keys
-        if inserts:
-            assert db.total_records() > before
+    gen = YcsbGenerator(YcsbConfig(num_records=3_000, theta=0.85,
+                                   ops_per_txn=6), seed=request.param)
+    return gen.make_workload(80)
+
+
+@pytest.mark.parametrize("cc", sorted(PROTOCOLS))
+class TestRegistryMatrixOnRandomizedWorkloads:
+    def test_protocol_meets_its_oracle(self, randomized_ycsb, cc):
+        threads = 1 if cc == "none" else 4
+        exp = ExperimentConfig(sim=SimConfig(num_threads=threads, cc=cc))
+        r = run_system(randomized_ycsb, "dbcc", exp, record_history=True)
+        assert r.committed == len(randomized_ycsb)
+        if cc == "mvcc":
+            assert_snapshot_consistent(engine_of(r).history)
+        else:
+            assert_serializable(engine_of(r).history)
+
+
+class TestHarnessPathsAgree:
+    """The differential layer: the sequential harness and the parallel
+    executor must produce bit-identical measurements for the full CC
+    matrix, so an oracle pass on one path vouches for the other."""
+
+    def test_cc_matrix_sequential_equals_parallel(self):
+        from repro.bench.experiments import Scale, run_experiment
+        from repro.bench.parallel import run_experiment_cells
+
+        tiny = Scale(name="quick", bundle=40, seeds=(0,), threads=4,
+                     ycsb_records=10_000, tpcc_warehouses=4)
+        sequential = run_experiment("abl_cc_matrix", tiny)
+        inline, r1 = run_experiment_cells("abl_cc_matrix", tiny, jobs=1,
+                                          inline=True)
+        pooled, r2 = run_experiment_cells("abl_cc_matrix", tiny, jobs=2)
+        assert r1.failed == [] and r2.failed == []
+        assert r1.total_cells == r2.total_cells == len(PROTOCOLS)
+        assert inline.to_payload() == sequential.to_payload()
+        assert pooled.to_payload() == sequential.to_payload()
+        for cc in sorted(PROTOCOLS):
+            assert sequential.get("DBCC", cc).throughput > 0

@@ -1,0 +1,200 @@
+"""Properties of config hashing and parallel-executor cell keys.
+
+The resume and cache layers are only sound if the content hash is a
+pure function of the configuration *values*: equal configs must hash
+equal (across dict insertion orders, set orders, processes, and hash
+seeds), and any changed field must change the hash.  A hash that leaked
+``id()`` or iteration order would silently poison the cell cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.parallel import CellKey
+from repro.common import ConfigError, ExperimentConfig, YcsbConfig
+from repro.common.hashing import canonical_json, config_hash, stable_repr
+
+# JSON-representable scalars the configs are built from.  Floats are
+# restricted to finite ones: the canonical form rejects NaN/inf by design.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.frozensets(scalars, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalHash:
+    @given(values)
+    @settings(max_examples=200)
+    def test_hash_is_deterministic(self, value):
+        assert config_hash(value) == config_hash(value)
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, min_size=2, max_size=6))
+    @settings(max_examples=100)
+    def test_dict_insertion_order_is_invisible(self, d):
+        items = list(d.items())
+        forward = dict(items)
+        backward = dict(reversed(items))
+        assert config_hash(forward) == config_hash(backward)
+
+    @given(st.frozensets(scalars, min_size=2, max_size=6))
+    @settings(max_examples=100)
+    def test_set_iteration_order_is_invisible(self, s):
+        assert config_hash(s) == config_hash(frozenset(reversed(sorted(
+            s, key=canonical_json)))) == config_hash(set(s))
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, min_size=1, max_size=5),
+           st.text(max_size=8), scalars)
+    @settings(max_examples=150)
+    def test_any_changed_entry_changes_the_hash(self, d, key, new_value):
+        changed = dict(d)
+        changed[key] = new_value
+        if canonical_json(changed) == canonical_json(d):
+            assert config_hash(changed) == config_hash(d)
+        else:
+            assert config_hash(changed) != config_hash(d)
+
+    def test_nan_is_rejected_not_hashed(self):
+        with pytest.raises(ConfigError):
+            config_hash({"theta": float("nan")})
+        with pytest.raises(ConfigError):
+            config_hash([float("inf")])
+
+    def test_identity_objects_are_rejected(self):
+        with pytest.raises(ConfigError):
+            config_hash(object())
+        with pytest.raises(ConfigError):
+            config_hash(lambda: None)
+
+    def test_distinct_types_hash_distinct(self):
+        # No cross-type collisions through stringification.
+        reprs = {canonical_json(v) for v in (1, "1", 1.0, True, [1], (1,))}
+        # int 1 / float 1.0 / True canonicalise per JSON rules, but str,
+        # list and scalar forms must all stay distinct.
+        assert canonical_json("1") != canonical_json(1)
+        assert canonical_json([1]) != canonical_json(1)
+        assert len(reprs) >= 3
+
+
+class TestDataclassHashing:
+    def test_equal_configs_hash_equal(self):
+        a = YcsbConfig(num_records=1000, theta=0.8)
+        b = YcsbConfig(num_records=1000, theta=0.8)
+        assert a is not b
+        assert config_hash(a) == config_hash(b)
+
+    def test_every_changed_field_changes_the_hash(self):
+        base = YcsbConfig(num_records=1000, theta=0.8)
+        baseline = config_hash(base)
+        for f in dataclasses.fields(YcsbConfig):
+            old = getattr(base, f.name)
+            if isinstance(old, bool):
+                new = not old
+            elif isinstance(old, int):
+                new = old + 1
+            elif isinstance(old, float):
+                new = old + 0.125
+            elif isinstance(old, str):
+                new = old + "_x"
+            elif isinstance(old, tuple):
+                new = old + old[-1:] if old else (1,)
+            else:
+                continue
+            changed = dataclasses.replace(base, **{f.name: new})
+            assert config_hash(changed) != baseline, f.name
+
+    def test_nested_experiment_config_is_hashable(self):
+        exp = ExperimentConfig()
+        assert config_hash(exp) == config_hash(ExperimentConfig())
+        bumped = exp.with_(seed=exp.seed + 1)
+        assert config_hash(bumped) != config_hash(exp)
+
+
+class TestCrossProcessStability:
+    #: Golden value pinned in-source: if this changes, every existing
+    #: cell/workload cache is invalidated — that must be a deliberate
+    #: format bump (repro.hash/1 -> /2), never an accident.
+    FIXED = {"kind": "ycsb", "theta": 0.8, "records": 2_000_000,
+             "seeds": [0, 1, 2], "systems": frozenset({"dbcc", "tskd"})}
+
+    def _hash_in_subprocess(self, hash_seed: str) -> str:
+        code = (
+            "from repro.common.hashing import config_hash\n"
+            "print(config_hash({'kind': 'ycsb', 'theta': 0.8,"
+            " 'records': 2_000_000, 'seeds': [0, 1, 2],"
+            " 'systems': frozenset({'dbcc', 'tskd'})}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": ":".join(sys.path), "PYTHONHASHSEED": hash_seed},
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+
+    def test_hash_is_stable_across_processes_and_hash_seeds(self):
+        here = config_hash(self.FIXED)
+        assert self._hash_in_subprocess("1") == here
+        assert self._hash_in_subprocess("4242") == here
+
+
+class TestCellKey:
+    def test_cell_id_depends_on_every_field(self):
+        base = CellKey(exp_id="fig5a", x=0.8, system="DBCC", seed=0,
+                       scale_hash="abc123")
+        seen = {base.cell_id()}
+        for change in (dict(exp_id="fig4a"), dict(x=0.9), dict(x="0.8"),
+                       dict(system="TSKD[CC]"), dict(seed=1),
+                       dict(scale_hash="def456")):
+            other = dataclasses.replace(base, **change)
+            cid = other.cell_id()
+            assert cid not in seen, change
+            seen.add(cid)
+
+    def test_equal_keys_share_id_and_filename(self):
+        a = CellKey(exp_id="fig5a", x=0.8, system="TSKD[CC]", seed=3,
+                    scale_hash="abc123")
+        b = CellKey(exp_id="fig5a", x=0.8, system="TSKD[CC]", seed=3,
+                    scale_hash="abc123")
+        assert a.cell_id() == b.cell_id()
+        assert a.filename() == b.filename()
+
+    def test_filename_is_filesystem_safe_and_collision_free(self):
+        a = CellKey(exp_id="fig4g", x="a/b", system="TSKD[S] w=1, 50/50",
+                    seed=0, scale_hash="abc123")
+        b = CellKey(exp_id="fig4g", x="a_b", system="TSKD[S] w=1, 50_50",
+                    seed=0, scale_hash="abc123")
+        for key in (a, b):
+            name = key.filename()
+            assert "/" not in name and name.endswith(".json")
+        # Slug sanitisation collides, the embedded content hash must not.
+        assert a.filename() != b.filename()
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=100)
+    def test_stable_repr_distinguishes_x_values(self, f, i):
+        if float(i) == f and isinstance(f, float) and f == int(f):
+            # JSON cannot tell 2 from 2.0; the planner keys on the
+            # canonical encoding, so these are the same sweep point.
+            assert stable_repr(f) == stable_repr(float(i))
+        else:
+            assert stable_repr(f) != stable_repr(i) or f == i
