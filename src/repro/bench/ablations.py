@@ -201,6 +201,39 @@ def abl_cc_matrix(scale: Scale) -> Series:
     return s
 
 
+def abl_faults(scale: Scale) -> Series:
+    """Fault scenarios x restart policies (YCSB, DBCC).
+
+    Sweeps the :mod:`repro.faults` chaos presets against every restart
+    policy the engine supports.  The ``none`` scenario doubles as the
+    differential baseline: its cells must be bit-identical across
+    policies' disabled-fault paths, and the chaos cells quantify what
+    each policy buys back under each disturbance.  Fault plans compile
+    deterministically from (scenario seed, thread count), so this sweep
+    — like every other — is replayable and parallel-safe.
+    """
+    from ..common.config import RESTART_POLICIES
+    from .experiments import FAULT_SCENARIOS, fault_scenario
+
+    scenarios = scale.trim(FAULT_SCENARIOS)
+    xs = [f"{sc}/{pol}" for sc in scenarios for pol in RESTART_POLICIES]
+    s = Series("abl_faults",
+               "fault injection vs restart policy (YCSB, DBCC)",
+               "scenario/policy", xs)
+    for sc in scenarios:
+        spec = fault_scenario(sc)
+        for pol in RESTART_POLICIES:
+            exp = default_exp(scale)
+            exp = exp.with_(sim=exp.sim.with_(restart_policy=pol),
+                            faults=spec)
+            measure_point(s, f"{sc}/{pol}",
+                          lambda seed, e=exp: ycsb_workload(scale, e, 0.8, seed),
+                          [("DBCC", lambda: "dbcc")], exp, scale.seeds)
+    s.notes.append("scenario 'none' cells are the no-faults differential "
+                   "baseline; see docs/faults.md")
+    return s
+
+
 ABLATIONS = {
     "abl_tsgen": abl_tsgen,
     "abl_tsdefer": abl_tsdefer,
@@ -209,4 +242,5 @@ ABLATIONS = {
     "abl_latency": abl_latency,
     "abl_queue_execution": abl_queue_execution,
     "abl_cc_matrix": abl_cc_matrix,
+    "abl_faults": abl_faults,
 }

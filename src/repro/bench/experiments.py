@@ -105,7 +105,10 @@ def ycsb_workload(scale: Scale, exp: ExperimentConfig, theta: float, seed: int,
         _apply_extensions(w, exp, seed)
         return w
 
-    return cached_workload("ycsb", cfg, scale.bundle, exp, seed, build)
+    # Faults never shape the workload (they act at execution time), so
+    # every fault scenario shares one cached build per (cfg, exp, seed).
+    return cached_workload("ycsb", cfg, scale.bundle, exp.with_(faults=None),
+                           seed, build)
 
 
 def tpcc_workload(scale: Scale, exp: ExperimentConfig, seed: int,
@@ -118,7 +121,8 @@ def tpcc_workload(scale: Scale, exp: ExperimentConfig, seed: int,
         _apply_extensions(w, exp, seed)
         return w
 
-    return cached_workload("tpcc", cfg, scale.bundle, exp, seed, build)
+    return cached_workload("tpcc", cfg, scale.bundle, exp.with_(faults=None),
+                           seed, build)
 
 
 def _apply_extensions(w: Workload, exp: ExperimentConfig, seed: int) -> None:
@@ -126,6 +130,42 @@ def _apply_extensions(w: Workload, exp: ExperimentConfig, seed: int) -> None:
         apply_runtime_skew(w, exp.skew, exp.sim, rng=Rng(seed * 97 + 11))
     if exp.io.enabled:
         apply_io_latency(w, exp.io, rng=Rng(seed * 89 + 17))
+
+
+# ---------------------------------------------------------------------------
+# fault scenarios (repro.faults chaos presets)
+# ---------------------------------------------------------------------------
+#: Named chaos presets for sweeps, the CLI, and the chaos test suites.
+FAULT_SCENARIOS = ("none", "aborts", "stalls", "crashes", "io", "chaos")
+
+
+def fault_scenario(name: str, seed: int = 0) -> "FaultSpec":
+    """A named :class:`~repro.faults.FaultSpec` preset.
+
+    ``none`` is an explicitly-empty spec (compiles to an inert plan, the
+    differential baseline); the single-kind scenarios isolate one fault
+    mechanism each; ``chaos`` mixes all five kinds.  Counts are sized for
+    quick/bench bundles — enough injections to exercise every code path
+    without drowning the workload signal.
+    """
+    from ..faults import FaultSpec
+
+    base = FaultSpec(seed=seed)
+    presets = {
+        "none": base,
+        "aborts": base.with_(spurious_aborts=12),
+        "stalls": base.with_(stalls=6),
+        "crashes": base.with_(crashes=2),
+        "io": base.with_(io_spikes=4),
+        "chaos": base.with_(spurious_aborts=8, stalls=4, crashes=2,
+                            io_spikes=3, probe_corruptions=2),
+    }
+    try:
+        return presets[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown fault scenario {name!r}; choose from "
+            f"{'/'.join(FAULT_SCENARIOS)}") from None
 
 
 # ---------------------------------------------------------------------------

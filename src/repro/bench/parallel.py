@@ -60,6 +60,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from ..common.errors import ConfigError, ReproError
 from ..common.hashing import config_hash, stable_repr
 from ..common.stats import RunResult
+from ..faults import FaultPlan
 from ..obs.artifact import ArtifactError, build_artifact, validate_artifact
 from . import cache as workload_cache
 from .reporting import Cell, Series
@@ -132,6 +133,9 @@ class CellKey:
     ``x`` is the :func:`repro.common.hashing.stable_repr` of the sweep
     value, and ``scale_hash`` the config hash of the :class:`Scale`, so
     equal keys mean "this exact measurement" across processes and runs.
+    ``faults`` is the digest of the compiled fault plan (empty for a
+    chaos-free cell), so cached cells are never reused across different
+    fault timelines.
     """
 
     exp_id: str
@@ -139,6 +143,7 @@ class CellKey:
     system: str
     seed: int
     scale_hash: str
+    faults: str = ""
 
     def cell_id(self) -> str:
         """Stable content hash of the full key."""
@@ -149,6 +154,7 @@ class CellKey:
             "system": self.system,
             "seed": self.seed,
             "scale": self.scale_hash,
+            "faults": self.faults,
         })
 
     def filename(self) -> str:
@@ -175,6 +181,8 @@ class _PlanPoint:
     x_repr: str
     systems: list[str]
     seeds: list[int]
+    #: Fault-plan digest of this point's ExperimentConfig ("" = no faults).
+    faults: str = ""
 
 
 @dataclass
@@ -198,7 +206,8 @@ class _PlanContext:
                     )
                 self._seen.add(key)
         self.points.append(_PlanPoint(x=x, x_repr=x_repr, systems=names,
-                                      seeds=list(seeds)))
+                                      seeds=list(seeds),
+                                      faults=_faults_digest(exp)))
         return True  # skip execution
 
 
@@ -232,6 +241,14 @@ class _CellContext:
                             name=self.target.system)
         self.outcome = (cell_vector(result), result, run_exp)
         raise _CellDone
+
+
+def _faults_digest(exp) -> str:
+    """Digest of the fault plan ``exp`` compiles to; "" without faults."""
+    spec = getattr(exp, "faults", None)
+    if spec is None or not getattr(spec, "enabled", False):
+        return ""
+    return FaultPlan.compile(spec, exp.sim.num_threads).digest
 
 
 #: Per-process active context; plan/cell modes install themselves here
@@ -284,7 +301,8 @@ def _cells_of(exp_id: str, points: Iterable[_PlanPoint],
             for name in point.systems:
                 cells.append(CellKey(exp_id=exp_id, x=point.x_repr,
                                      system=name, seed=seed,
-                                     scale_hash=scale_hash))
+                                     scale_hash=scale_hash,
+                                     faults=point.faults))
     return cells
 
 
@@ -345,6 +363,7 @@ def write_cell_artifact(cache_dir, key: CellKey, vector: Sequence[float],
         "seed": key.seed,
         "scale": getattr(scale, "name", None),
         "scale_hash": key.scale_hash,
+        "faults": key.faults,
         "vector": list(vector),
         # Integrity check: a torn write or bit-rot inside an otherwise
         # well-formed JSON must degrade to a cache miss, never be trusted.
@@ -564,7 +583,8 @@ def _assemble(series: Series, points: Sequence[_PlanPoint],
         for seed in point.seeds:
             for name in point.systems:
                 key = CellKey(exp_id=exp_id, x=point.x_repr, system=name,
-                              seed=seed, scale_hash=scale_hash)
+                              seed=seed, scale_hash=scale_hash,
+                              faults=point.faults)
                 vec = vectors.get(key)
                 if vec is None:
                     complete[name] = False

@@ -22,6 +22,7 @@ from ..common.config import ExperimentConfig
 from ..common.rng import Rng
 from ..common.stats import Counters, RunResult, percentile
 from ..core.tskd import TSKD
+from ..faults import FaultInjector, FaultPlan
 from ..obs.metrics import (
     LATENCY_BUCKETS_CYCLES,
     RETRY_BUCKETS,
@@ -57,6 +58,7 @@ def run_system(
     db=None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``system`` and return the measurements.
 
@@ -64,10 +66,21 @@ def run_system(
     (see :mod:`repro.obs.tracing`); ``metrics`` supplies the registry the
     run populates — one is created when omitted, and either way the
     populated registry rides back on ``RunResult.metrics``.
+
+    ``fault_plan`` injects a compiled chaos timeline (:mod:`repro.faults`)
+    into the CC execution engine; when omitted, ``exp.faults`` (a
+    :class:`~repro.faults.FaultSpec`) is compiled for this thread count.
+    An empty plan installs an inert injector and leaves the run — and its
+    exported artifact — byte-identical to a no-faults run.
     """
     sim = exp.sim
     k = sim.num_threads
     rng = Rng(exp.seed * 31 + 5)
+    if fault_plan is None:
+        spec = exp.faults
+        if spec is not None and getattr(spec, "enabled", False):
+            fault_plan = FaultPlan.compile(spec, k)
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
     if cost is None:
         cost = warm_up_history(workload, sim, rng=rng.fork(1))
 
@@ -147,6 +160,10 @@ def run_system(
         shared_versions = None
         shared_history = None
 
+    # Faults target the CC execution engine only: the enforced CC-free
+    # queue phase upholds a precomputed precedence schedule whose gating
+    # assumes fixed thread placement, so chaos there would test the
+    # enforcer's bookkeeping rather than the protocols under study.
     engine = MulticoreEngine(
         sim,
         dispatch_filter=dispatch_filter,
@@ -156,10 +173,13 @@ def run_system(
         versions=shared_versions,
         history=shared_history,
         tracer=tracer,
+        faults=injector,
     )
     if dispatch_filter is not None:
         # Bounded future probing reads remote queues past headp.
         dispatch_filter.table.bind_buffers(engine.buffer_of)
+        if injector is not None and injector.enabled:
+            dispatch_filter.table.bind_corruption(injector.probe_corrupt)
 
     for phase_idx, buffers in enumerate(remaining):
         result = engine.run(buffers, start_time=clock)
@@ -176,6 +196,8 @@ def run_system(
 
     _populate_registry(registry, totals, engine, dispatch_filter, schedule,
                        latencies, retry_counts)
+    if injector is not None:
+        injector.publish(registry)  # no-op for an empty plan
     run = RunResult(
         name=name or system_name(system),
         committed=totals.committed,
@@ -213,6 +235,7 @@ def _populate_registry(
     """Fold every component's instrumentation into the run's registry."""
     registry.ingest_counters(totals)
     registry.ingest(engine.protocol.metrics_dict(), prefix="cc.")
+    engine.restart_policy.publish(registry)
     if dispatch_filter is not None:
         dispatch_filter.publish(registry)
     if schedule is not None and schedule.stats is not None:

@@ -204,6 +204,10 @@ class LockTable:
         st = self._locks.get(key)
         return set(st.holders) if st else set()
 
+    def waiters(self, key: Key) -> list[tuple[int, LockMode]]:
+        st = self._locks.get(key)
+        return list(st.waiters) if st else []
+
     def release_all(self, thread_id: int, held: set[Key]) -> list[tuple[int, Key]]:
         """Release this thread's locks; return (thread, key) grants to wake."""
         woken: list[tuple[int, Key]] = []
@@ -229,8 +233,9 @@ class LockTable:
         Deliberately not strict FIFO: a sole-holder upgrade (S held,
         X queued) must be grantable even when an earlier, incompatible
         X waiter sits ahead of it — otherwise the upgrader blocks behind
-        a waiter that is itself blocked on the upgrader's S lock, a
-        deadlock wait-die's holder-only age check cannot see.
+        a waiter that is itself blocked on the upgrader's S lock.  Safe
+        age-wise: every waiter age-checked against the upgrader (then a
+        holder) when it enqueued.
         """
         granted: list[int] = []
         remaining: list[tuple[int, LockMode]] = []

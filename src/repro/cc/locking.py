@@ -84,18 +84,42 @@ class NoWait2PL(_TwoPhaseLocking):
 
 
 class WaitDie2PL(_TwoPhaseLocking):
-    """2PL with wait-die deadlock avoidance."""
+    """2PL with wait-die deadlock avoidance.
+
+    Deadlock freedom needs every wait-for edge — to a holder *or* through
+    the wait queue — to point old -> young.  Two rules uphold that:
+
+    * **no barging**: a thread that is not already a holder may not be
+      granted past a non-empty wait queue, even if it is compatible with
+      the current holders (a reader slipping past a queued writer forms
+      an edge the age check never saw);
+    * the age check covers the queued waiters as well as the holders.
+
+    A sole holder upgrading S -> X still bypasses the queue via
+    ``try_acquire`` — legal, since every waiter already age-checked
+    against it when enqueueing.
+    """
 
     name = "waitdie"
 
+    def on_access(self, active: "ActiveTxn", op: Operation, now: int) -> AccessResult:
+        key = op.record_key
+        if (self._locks.waiters(key)
+                and active.thread_id not in self._locks.holders(key)):
+            self.contended += 1
+            return self._on_conflict(active, op, now)
+        return super().on_access(active, op, now)
+
     def _on_conflict(self, active: "ActiveTxn", op: Operation, now: int) -> AccessResult:
-        holders = self._locks.holders(op.record_key)
-        holders.discard(active.thread_id)
-        for thread_id in holders:
+        key = op.record_key
+        rivals = self._locks.holders(key)
+        rivals.update(t for t, _ in self._locks.waiters(key))
+        rivals.discard(active.thread_id)
+        for thread_id in rivals:
             other = self._engine.active_txn(thread_id)
             if other is None or active.ts >= other.ts:
-                return _ABORT  # younger than some holder: die
+                return _ABORT  # younger than some rival: die
         self.lock_waits += 1
-        self._locks.enqueue(op.record_key, active.thread_id,
+        self._locks.enqueue(key, active.thread_id,
                             LockMode.EXCLUSIVE if op.is_write else LockMode.SHARED)
         return _WAIT

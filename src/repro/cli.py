@@ -5,6 +5,7 @@ Subcommands:
 * ``run``        — execute one workload under one system, print metrics;
 * ``compare``    — execute the same bundle under several systems;
 * ``experiment`` — regenerate paper figures (wraps repro.bench.experiments);
+* ``faults``     — chaos run: inject a seeded fault plan, report recovery;
 * ``tune``       — pilot-run TsDEFER parameter tuning for a workload;
 * ``trace``      — replay a saved JSONL span log as a timeline;
 * ``report``     — render a saved JSON run artifact for humans.
@@ -16,6 +17,8 @@ Examples::
         --export-json out.json --trace out.trace.jsonl
     python -m repro compare --workload tpcc --cross-pct 0.35 --bundle 1000
     python -m repro experiment fig4a fig5g --quick
+    python -m repro faults --scenario chaos --restart-policy backoff
+    python -m repro faults --crashes 2 --stalls 4 --replay-check
     python -m repro tune --workload ycsb --theta 0.8
     python -m repro trace out.trace.jsonl --tid 17
     python -m repro report out.json
@@ -37,6 +40,7 @@ from .bench.workloads import (
     apply_runtime_skew,
 )
 from .common.config import (
+    RESTART_POLICIES,
     ExperimentConfig,
     IoLatencyConfig,
     RuntimeSkewConfig,
@@ -84,11 +88,21 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="disable the runtime-skew extension")
     p.add_argument("--io", type=int, default=0, metavar="L_IO",
                    help="enable the I/O-latency extension at this l_IO")
+    p.add_argument("--restart-policy", choices=RESTART_POLICIES,
+                   default="immediate",
+                   help="what aborted transactions do next (repro.faults)")
+    p.add_argument("--backoff-base", type=int, default=2_000,
+                   help="initial backoff span in cycles (policy=backoff)")
+    p.add_argument("--backoff-cap", type=int, default=200_000,
+                   help="max backoff span in cycles (policy=backoff)")
 
 
 def _build(args) -> tuple:
     exp = ExperimentConfig(
-        sim=SimConfig(num_threads=args.threads, cc=args.cc),
+        sim=SimConfig(num_threads=args.threads, cc=args.cc,
+                      restart_policy=args.restart_policy,
+                      backoff_base=args.backoff_base,
+                      backoff_cap=args.backoff_cap),
         skew=None if args.no_skew else RuntimeSkewConfig(),
         io=IoLatencyConfig(l_io=args.io),
         bundle_size=args.bundle,
@@ -160,6 +174,93 @@ def cmd_run(args) -> int:
         export_run(args.export_json, result, config=exp,
                    trace_path=args.trace, workload=args.workload)
         print(f"artifact: {args.export_json}")
+    return 0
+
+
+#: (FaultSpec field, CLI option help) for the faults subcommand's
+#: override knobs; None means "keep the scenario preset's value".
+_FAULT_KNOBS = (
+    ("spurious_aborts", "forced aborts of in-flight transactions"),
+    ("stalls", "transient thread stalls"),
+    ("stall_cycles", "mean stall duration in cycles"),
+    ("crashes", "fail-stop thread crashes (buffers redistributed)"),
+    ("io_spikes", "transient I/O latency spike windows"),
+    ("io_spike_cycles", "extra commit-stall cycles inside a spike"),
+    ("io_spike_len", "I/O spike window length in cycles"),
+    ("probe_corruptions", "progress-table corruption windows"),
+    ("probe_corruption_len", "corruption window length in cycles"),
+    ("horizon", "virtual-cycle span faults are drawn from"),
+)
+
+
+def _build_fault_spec(args):
+    """Scenario preset, with any explicitly-passed knob overriding it."""
+    from .bench.experiments import fault_scenario
+
+    spec = fault_scenario(args.scenario, seed=args.fault_seed)
+    overrides = {name: getattr(args, name)
+                 for name, _ in _FAULT_KNOBS
+                 if getattr(args, name) is not None}
+    return spec.with_(**overrides) if overrides else spec
+
+
+def cmd_faults(args) -> int:
+    from .bench.runner import system_name
+    from .common.hashing import config_hash
+    from .faults import FaultPlan
+    from .obs.artifact import build_artifact
+
+    workload, exp = _build(args)
+    spec = _build_fault_spec(args)
+    plan = FaultPlan.compile(spec, exp.sim.num_threads)
+    print(f"fault plan: {len(plan.events)} events over "
+          f"{spec.horizon:,} cycles  digest={plan.digest[:16]}")
+    for ev in plan.events:
+        scope = f" thread={ev.thread}" if ev.thread >= 0 else ""
+        extra = f" duration={ev.duration:,}" if ev.duration else ""
+        extra += f" magnitude={ev.magnitude:,}" if ev.magnitude else ""
+        print(f"  t={ev.when:>12,}  {ev.kind:18s}{scope}{extra}")
+
+    try:
+        tracer = JsonlTracer(args.trace) if args.trace else None
+    except OSError as e:
+        raise SystemExit(f"cannot write trace {args.trace!r}: {e}")
+    try:
+        result = run_system(workload, _make_system(args.system), exp,
+                            fault_plan=plan, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    _print_result(result)
+    print(f"policy: {exp.sim.restart_policy}")
+    reg = result.metrics
+    for key in sorted(reg.to_dict().get("counters", {})):
+        if key.startswith(("faults.", "restart.")):
+            print(f"  {key:32s} {reg.value(key):,.0f}")
+    mean_rec = reg.value("faults.mean_recovery_cycles")
+    if mean_rec is not None:
+        print(f"  {'faults.mean_recovery_cycles':32s} {mean_rec:,.0f}")
+
+    if tracer is not None:
+        print(f"trace: {tracer.emitted} events -> {args.trace}")
+    if args.export_json:
+        export_run(args.export_json, result, config=exp,
+                   workload=args.workload, trace_path=args.trace)
+        print(f"artifact: {args.export_json}")
+
+    if args.replay_check:
+        again = run_system(workload, _make_system(args.system), exp,
+                           fault_plan=plan,
+                           name=system_name(_make_system(args.system)))
+        h1 = config_hash(build_artifact(result, config=exp,
+                                        workload=args.workload))
+        h2 = config_hash(build_artifact(again, config=exp,
+                                        workload=args.workload))
+        if h1 != h2:
+            print(f"replay-check: FAILED ({h1[:16]} != {h2[:16]})")
+            return 1
+        print(f"replay-check: ok (artifact digest {h1[:16]})")
     return 0
 
 
@@ -237,6 +338,27 @@ def main(argv: Sequence[str] | None = None) -> int:
                            help="regenerate paper figures/tables")
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)
     p_exp.set_defaults(func=None)
+
+    p_faults = sub.add_parser(
+        "faults", help="chaos run: inject a seeded fault plan")
+    _add_workload_args(p_faults)
+    p_faults.add_argument("--system", default="dbcc",
+                          help=f"one of {SYSTEMS}")
+    p_faults.add_argument("--scenario", default="chaos",
+                          help="named preset (none/aborts/stalls/crashes/"
+                               "io/chaos); knobs below override it")
+    p_faults.add_argument("--fault-seed", type=int, default=0,
+                          help="seed the fault plan is compiled from")
+    for knob, help_text in _FAULT_KNOBS:
+        p_faults.add_argument(f"--{knob.replace('_', '-')}", type=int,
+                              default=None, dest=knob, help=help_text)
+    p_faults.add_argument("--export-json", metavar="PATH",
+                          help="write a schema-validated run artifact here")
+    p_faults.add_argument("--trace", metavar="PATH",
+                          help="stream span events (incl. faults) to JSONL")
+    p_faults.add_argument("--replay-check", action="store_true",
+                          help="run twice, assert identical artifact digests")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_tune = sub.add_parser("tune", help="tune TsDEFER for a workload")
     _add_workload_args(p_tune)

@@ -36,6 +36,9 @@ CYCLES_PER_SECOND = 2_000_000_000
 #: Minimum I/O delay in cycles — "minIO is set to 5000 CPU cycles" (Sec 6.1).
 MIN_IO_CYCLES = 5_000
 
+#: Restart policies the engine can apply after an abort (repro.faults.policies).
+RESTART_POLICIES = ("immediate", "backoff", "defer_coldest")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -64,6 +67,16 @@ class SimConfig:
     #: Cost of fetching the next transaction from the thread-local buffer.
     dispatch_cost: int = 100
     seed: int = 0
+    #: What an aborted transaction does next (repro.faults.policies):
+    #: "immediate" retries in place after penalty + uniform jitter (the
+    #: DBx1000 rule), "backoff" applies capped randomised exponential
+    #: backoff, "defer_coldest" migrates the retry to the least-busy
+    #: thread.
+    restart_policy: str = "immediate"
+    #: Initial jitter span for the "backoff" policy (cycles); doubles per
+    #: attempt until it saturates at ``backoff_cap``.
+    backoff_base: int = 2_000
+    backoff_cap: int = 200_000
 
     def __post_init__(self):
         if self.num_threads <= 0:
@@ -73,6 +86,14 @@ class SimConfig:
         for name in ("cc_op_overhead", "commit_overhead", "abort_penalty", "dispatch_cost"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be non-negative")
+        if self.restart_policy not in RESTART_POLICIES:
+            raise ConfigError(
+                f"unknown restart policy {self.restart_policy!r}; "
+                f"choose from {RESTART_POLICIES}")
+        if self.backoff_base <= 0:
+            raise ConfigError(f"backoff_base must be positive, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ConfigError("backoff_cap must be >= backoff_base")
 
     def with_(self, **kw) -> "SimConfig":
         """Return a copy with the given fields replaced."""
@@ -302,6 +323,10 @@ class ExperimentConfig:
     #: 10,000 transactions"); scaled down by default for the simulator.
     bundle_size: int = 2_000
     seed: int = 0
+    #: Optional chaos: a repro.faults.FaultSpec compiled into a FaultPlan
+    #: by the bench runner.  Typed loosely to keep repro.common free of a
+    #: dependency on repro.faults; None means no faults.
+    faults: Optional[object] = None
 
     def with_(self, **kw) -> "ExperimentConfig":
         return replace(self, **kw)

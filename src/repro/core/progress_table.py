@@ -19,6 +19,13 @@ virtual clock, so what this class reproduces is the structure's
 * inaccurate access sets — only an ``accuracy`` fraction of each
   transaction's true write set is visible (the Fig 5h knob), since
   predicted access sets "do not have to be exact".
+
+Fault injection (:mod:`repro.faults`) can additionally *corrupt* probes
+inside seeded time windows: every observation in the window reads the
+thread's previous headp, a forced stale read that stresses TsDEFER's
+tolerance of the lock-free structure's weak consistency.  The corruption
+hook is consulted only when one is installed, so an un-faulted table
+draws exactly the RNG stream it always did.
 """
 
 from __future__ import annotations
@@ -50,6 +57,10 @@ class ProgressTable:
         self.probes = 0
         #: Observations that saw a thread's *previous* headp (staleness).
         self.stale_observations = 0
+        #: Observations forced stale by an injected corruption window.
+        self.corrupted_observations = 0
+        #: Optional ``now -> bool`` corruption oracle (FaultInjector.probe_corrupt).
+        self._corrupt = None
         self._current: list[Optional[Transaction]] = [None] * num_threads
         self._previous: list[Optional[Transaction]] = [None] * num_threads
         #: Predicted (visible) write set per tid, materialised once.
@@ -61,6 +72,10 @@ class ProgressTable:
     def bind_buffers(self, buffer_reader) -> None:
         """Wire the engine's per-thread buffer view for future probing."""
         self._buffer_reader = buffer_reader
+
+    def bind_corruption(self, corrupt) -> None:
+        """Install a ``now -> bool`` probe-corruption oracle (repro.faults)."""
+        self._corrupt = corrupt
 
     # -- maintenance (single writer per slot in the real structure) -----
     def on_dispatch(self, thread_id: int, txn: Transaction, now: int = 0) -> None:
@@ -92,10 +107,17 @@ class ProgressTable:
             got = items
         return got
 
-    def _observed_txns(self, j: int, future_depth: int) -> list[Transaction]:
+    def _observed_txns(self, j: int, future_depth: int,
+                       now: int = 0) -> list[Transaction]:
         """Transactions of thread j a probe may observe (headp onward)."""
         txn = self._current[j]
-        if txn is not None and self._rng.chance(self._stale_prob):
+        # Corruption windows force the stale read *without* consuming a
+        # draw from the staleness stream, so runs outside windows (and
+        # all runs without an oracle) see the unperturbed stream.
+        if self._corrupt is not None and self._corrupt(now):
+            txn = self._previous[j]
+            self.corrupted_observations += 1
+        elif txn is not None and self._rng.chance(self._stale_prob):
             txn = self._previous[j]
             self.stale_observations += 1
         elif txn is None and self._rng.chance(self._stale_prob):
@@ -114,6 +136,7 @@ class ProgressTable:
         num_lookups: int,
         scope: str = "global",
         future_depth: int = 1,
+        now: int = 0,
     ) -> list[Key]:
         """Perform lookup operations for a thread; returns probed items.
 
@@ -135,7 +158,7 @@ class ProgressTable:
             if j == requester:
                 continue
             space: list[Key] = []
-            for txn in self._observed_txns(j, future_depth):
+            for txn in self._observed_txns(j, future_depth, now):
                 space.extend(self.visible_write_set(txn))
             if space:
                 spaces.append(space)

@@ -106,7 +106,8 @@ class TsDefer:
                        ).set(self.stats.defer_rate)
         registry.ingest(
             {"probes": self.table.probes,
-             "stale_observations": self.table.stale_observations},
+             "stale_observations": self.table.stale_observations,
+             "corrupted_observations": self.table.corrupted_observations},
             prefix="progress_table.",
         )
 
@@ -129,6 +130,7 @@ class TsDefer:
             cfg.num_lookups,
             scope=cfg.lookup_scope,
             future_depth=cfg.future_depth,
+            now=now,
         )
         cost = len(items) * cfg.lookup_cost
         self.stats.lookups += len(items)

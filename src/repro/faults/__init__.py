@@ -1,0 +1,31 @@
+"""Deterministic fault injection and pluggable restart policies.
+
+See docs/faults.md for the fault model, policy semantics, and the
+determinism/differential contracts this package upholds.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec, plan_for
+from .policies import (
+    DeferColdest,
+    ExponentialBackoff,
+    ImmediateRestart,
+    RestartDecision,
+    RestartPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "plan_for",
+    "RestartDecision",
+    "RestartPolicy",
+    "ImmediateRestart",
+    "ExponentialBackoff",
+    "DeferColdest",
+    "make_policy",
+]

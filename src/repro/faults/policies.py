@@ -1,0 +1,174 @@
+"""Pluggable restart policies: what a thread does after an abort.
+
+DBx1000's retry loop — and this repo's engine until now — hard-coded one
+rule: charge the abort penalty, add uniform jitter, retry in place.
+"The Transactional Conflict Problem" and Cheng et al.'s scheduling work
+both show the requeue/backoff rule dominates tail behaviour under
+contention, so the engine now delegates the decision to a
+:class:`RestartPolicy` selected via ``SimConfig.restart_policy``:
+
+``immediate``
+    The legacy rule, bit-for-bit: ``restart = now + abort_penalty +
+    U[0, (abort_penalty + op_cost) // 2]``.  Randomised jitter breaks
+    deterministic symmetric livelock between transactions that abort
+    each other in lockstep.
+``backoff``
+    Capped randomised exponential backoff: the jitter span doubles with
+    each attempt (``backoff_base << (attempt - 1)``), saturates at
+    ``backoff_cap``, and the draw is ``U[span // 2, span]`` so the
+    expected delay is monotone in the attempt number while staying
+    bounded.  Restart is never scheduled before ``now + abort_penalty``.
+``defer_coldest``
+    Migrate the retry to the least-busy live thread (ties break toward
+    the lowest thread id).  The aborted transaction is requeued as an
+    arrival on the target thread at the immediate-policy restart time;
+    its attempt count and birth time travel with it, so latency and
+    retry accounting are unchanged.  If the coldest thread is the
+    aborting thread itself, the retry stays in place.
+
+Every policy draws jitter only from the engine's dedicated restart
+stream (``Rng(seed * 61 + 29)``), which nothing else consumes — so
+injecting a fault can never shift a later transaction's backoff, and
+policy decisions are identical across processes regardless of
+``PYTHONHASHSEED`` (property-tested in tests/property/test_prop_restart.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from ..common.errors import ConfigError
+from ..common.rng import Rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..common.config import SimConfig
+    from ..sim.engine import ActiveTxn
+
+#: Attempt numbers beyond this no longer widen the backoff span (the
+#: span has long since saturated at the cap; shifting further would
+#: only waste bignum cycles).
+_MAX_SHIFT = 48
+
+
+@dataclass(frozen=True)
+class RestartDecision:
+    """Where and when an aborted transaction retries.
+
+    ``requeue_thread`` is None for an in-place retry; otherwise the
+    transaction migrates to that thread's buffer and re-dispatches
+    there at ``restart_at``.
+    """
+
+    restart_at: int
+    requeue_thread: Optional[int] = None
+
+
+@runtime_checkable
+class RestartPolicy(Protocol):
+    """Decide the restart schedule for one aborted attempt."""
+
+    name: str
+
+    def on_abort(self, active: "ActiveTxn", now: int) -> RestartDecision: ...
+
+    def publish(self, registry) -> None: ...
+
+
+class _PolicyBase:
+    """Shared plumbing: config + jitter stream + decision accounting."""
+
+    name = "base"
+
+    def __init__(self, config: "SimConfig", rng: Rng):
+        self.config = config
+        self.rng = rng
+        self.decisions = 0
+        self.requeues = 0
+        self.delay_cycles = 0
+
+    def _record(self, decision: RestartDecision, now: int) -> RestartDecision:
+        self.decisions += 1
+        self.delay_cycles += decision.restart_at - now
+        if decision.requeue_thread is not None:
+            self.requeues += 1
+        return decision
+
+    def publish(self, registry) -> None:
+        """Per-policy retry metrics into a MetricsRegistry (repro.obs)."""
+        registry.counter("restart.decisions").inc(self.decisions)
+        registry.counter("restart.requeues").inc(self.requeues)
+        registry.counter("restart.delay_cycles").inc(self.delay_cycles)
+        registry.gauge("restart.mean_delay_cycles").set(
+            self.delay_cycles // self.decisions if self.decisions else 0)
+
+
+class ImmediateRestart(_PolicyBase):
+    """Legacy DBx1000 rule: penalty plus uniform jitter, retry in place."""
+
+    name = "immediate"
+
+    def on_abort(self, active: "ActiveTxn", now: int) -> RestartDecision:
+        cfg = self.config
+        span = max(1, (cfg.abort_penalty + cfg.op_cost) // 2)
+        restart = now + cfg.abort_penalty + self.rng.randint(0, span)
+        return self._record(RestartDecision(restart_at=restart), now)
+
+
+class ExponentialBackoff(_PolicyBase):
+    """Capped randomised exponential backoff, in place.
+
+    Span for attempt ``a`` (1-based) is ``min(cap, base << (a - 1))``;
+    the jitter draw is ``U[span // 2, span]``, so the backoff component
+    never exceeds ``backoff_cap`` and its expectation (``0.75 * span``)
+    is nondecreasing in the attempt number.
+    """
+
+    name = "backoff"
+
+    def on_abort(self, active: "ActiveTxn", now: int) -> RestartDecision:
+        cfg = self.config
+        shift = min(active.attempt - 1, _MAX_SHIFT) if active.attempt > 0 else 0
+        span = min(cfg.backoff_cap, cfg.backoff_base << shift)
+        restart = now + cfg.abort_penalty + self.rng.randint(span // 2, span)
+        return self._record(RestartDecision(restart_at=restart), now)
+
+
+class DeferColdest(_PolicyBase):
+    """Requeue the retry on the least-busy live thread.
+
+    Load is the engine's deterministic per-thread busy counter, so the
+    choice of target is itself reproducible.  Crashed threads are never
+    targets.  The restart time uses the immediate-policy formula — the
+    policy moves *where* the retry runs, not how long it waits.
+    """
+
+    name = "defer_coldest"
+
+    def __init__(self, config: "SimConfig", rng: Rng, engine):
+        super().__init__(config, rng)
+        self.engine = engine
+
+    def on_abort(self, active: "ActiveTxn", now: int) -> RestartDecision:
+        cfg = self.config
+        span = max(1, (cfg.abort_penalty + cfg.op_cost) // 2)
+        restart = now + cfg.abort_penalty + self.rng.randint(0, span)
+        threads = [t for t in self.engine._threads if t.phase != "crashed"]
+        coldest = min(threads, key=lambda t: (t.busy, t.id))
+        target = None if coldest.id == active.thread_id else coldest.id
+        return self._record(
+            RestartDecision(restart_at=restart, requeue_thread=target), now)
+
+
+def make_policy(name: str, config: "SimConfig", rng: Rng, engine=None):
+    """Instantiate the restart policy ``name`` (see RESTART_POLICIES)."""
+    if name == "immediate":
+        return ImmediateRestart(config, rng)
+    if name == "backoff":
+        return ExponentialBackoff(config, rng)
+    if name == "defer_coldest":
+        if engine is None:
+            raise ConfigError("defer_coldest needs an engine to inspect load")
+        return DeferColdest(config, rng, engine)
+    raise ConfigError(f"unknown restart policy {name!r}; "
+                      f"choose from immediate/backoff/defer_coldest")

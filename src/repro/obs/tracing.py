@@ -25,8 +25,11 @@ block       access blocked on a lock (pessimistic CC)
 wake        blocked thread resumed (``waited`` cycles)
 validate    commit-phase validation began
 commit      validation passed; writes installed at this instant
-abort       attempt aborted (``attempt``, ``reason``, ``restart``)
+abort       attempt aborted (``attempt``, ``reason``, ``restart``,
+            plus ``requeue`` when the restart policy migrated the retry)
 finish      commit stall served; transaction left the thread
+fault       injected fault fired (``fault`` kind, ``applied``,
+            ``duration``; see repro.faults)
 ==========  ========================================================
 """
 
@@ -47,6 +50,7 @@ EVENT_KINDS = (
     "commit",
     "abort",
     "finish",
+    "fault",
 )
 
 

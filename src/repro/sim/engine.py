@@ -14,8 +14,17 @@ transaction (optionally filtered by TsDEFER), executes its operations one
 at a time (each costing ``op_cost + cc_op_overhead`` cycles, mediated by
 the CC protocol), waits out its runtime-skew lower bound, validates and
 installs at commit (``commit_overhead`` cycles), then serves its
-commit-time I/O stall.  An abort charges ``abort_penalty`` and retries the
-transaction from scratch immediately — DBx1000's retry loop.
+commit-time I/O stall.  An abort charges ``abort_penalty`` and hands the
+retry schedule to the configured restart policy
+(:mod:`repro.faults.policies`); the default ``immediate`` policy is
+DBx1000's retry loop, bit-for-bit.
+
+An optional fault injector (:mod:`repro.faults`) interleaves a compiled
+timeline of spurious aborts, thread stalls, fail-stop crashes (with
+buffer redistribution so no transaction is lost), and I/O latency spikes
+into the event loop at virtual-cycle precision.  With no injector — or
+an injector over an empty plan — every code path below is cycle- and
+RNG-identical to an engine without the faults layer.
 
 All threads share one virtual clock; events are totally ordered, so CC
 metadata updates are atomic exactly like the latched critical sections of
@@ -36,6 +45,9 @@ from ..common.config import SimConfig
 from ..common.errors import SimulationError
 from ..common.rng import Rng
 from ..common.stats import Counters
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultEvent
+from ..faults.policies import make_policy
 from ..obs.tracing import TraceEvent, Tracer
 from ..storage.database import Database
 from ..txn.operation import Key, OpKind
@@ -142,7 +154,8 @@ class PhaseResult:
 
 
 class _Thread:
-    __slots__ = ("id", "buffer", "phase", "active", "busy", "dispatch_began")
+    __slots__ = ("id", "buffer", "phase", "active", "busy", "dispatch_began",
+                 "pending_seq", "pending_at", "crash_pending")
 
     def __init__(self, thread_id: int):
         self.id = thread_id
@@ -151,6 +164,13 @@ class _Thread:
         self.active: Optional[ActiveTxn] = None
         self.busy = 0
         self.dispatch_began = 0
+        #: Sequence number of this thread's one outstanding step event;
+        #: a popped event with a different seq was superseded by a fault
+        #: (stall reschedule, injected abort, crash) and is ignored.
+        self.pending_seq = -1
+        self.pending_at = 0
+        #: A crash fired past the commit point; fail stop after install.
+        self.crash_pending = False
 
 
 class MulticoreEngine:
@@ -169,6 +189,7 @@ class MulticoreEngine:
         versions: Optional[dict] = None,
         history: Optional[list] = None,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.config = config
         self.db = db if db is not None else Database()
@@ -194,11 +215,20 @@ class MulticoreEngine:
         self.protocol.bind(self)
 
         self._threads = [_Thread(i) for i in range(config.num_threads)]
-        #: Jitter source for abort backoff: two transactions that abort
-        #: each other in lockstep would otherwise retry in lockstep
-        #: forever (deterministic symmetric livelock, which real engines
-        #: break with randomised backoff).
-        self._rng = Rng(config.seed * 61 + 29)
+        #: Named jitter stream consumed *only* by restart decisions: two
+        #: transactions that abort each other in lockstep would otherwise
+        #: retry in lockstep forever (deterministic symmetric livelock,
+        #: which real engines break with randomised backoff).  Nothing
+        #: else may draw from it — in particular fault injection draws
+        #: all of its randomness at plan-compile time — so injecting a
+        #: fault can never shift a later transaction's backoff.
+        self._restart_rng = Rng(config.seed * 61 + 29)
+        #: What an aborted transaction does next (SimConfig.restart_policy).
+        self.restart_policy = make_policy(config.restart_policy, config,
+                                          self._restart_rng, engine=self)
+        #: Optional fault-timeline cursor (repro.faults); an injector over
+        #: an empty plan is inert and leaves the run byte-identical.
+        self.faults = faults
         self._events: list[tuple[int, int, int]] = []
         self._seq = 0
         self._txn_seq = 0
@@ -208,6 +238,10 @@ class MulticoreEngine:
         self._retry_counts: list[int] = []
         self._arrival_payload: dict[int, tuple[int, Transaction]] = {}
         self._arrived_at: dict[int, int] = {}
+        #: tid -> attempt count carried across a requeue (crash recovery
+        #: or a defer_coldest migration), so retry statistics survive the
+        #: move to another thread's buffer.
+        self._carry_attempts: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -267,11 +301,13 @@ class MulticoreEngine:
         self._retry_counts: list[int] = []
         self._arrival_payload: dict[int, tuple[int, Transaction]] = {}
         self._arrived_at: dict[int, int] = {}
+        self._carry_attempts = {}
         for thread, txns in zip(self._threads, buffers):
             thread.buffer = deque(txns)
             thread.phase = "dispatch"
             thread.busy = 0
             thread.active = None
+            thread.crash_pending = False
             self._schedule(start_time, thread.id)
         for when, thread_id, txn in arrivals:
             if when < start_time:
@@ -285,6 +321,16 @@ class MulticoreEngine:
 
         end_time = start_time
         while self._events:
+            # Lazily interleave the fault timeline: fire every injected
+            # fault stamped at or before the next engine event.  Faults
+            # stamped after the run's last event never fire, so an
+            # injector cannot stretch the makespan by itself.
+            if self.faults is not None:
+                ev = self.faults.pop_due(self._events[0][0])
+                if ev is not None:
+                    self._now = max(ev.when, self._now)
+                    self._apply_fault(ev, self._now)
+                    continue
             when, seq, thread_id = heapq.heappop(self._events)
             self._now = when
             end_time = max(end_time, when)
@@ -292,7 +338,12 @@ class MulticoreEngine:
             if payload is not None:
                 self._handle_arrival(payload[0], payload[1], when)
             else:
-                self._step(self._threads[thread_id], when)
+                thread = self._threads[thread_id]
+                # A mismatched seq means this event was superseded by a
+                # fault; with no faults the single-outstanding-event
+                # invariant makes the guard a no-op.
+                if seq == thread.pending_seq:
+                    self._step(thread, when)
 
         stuck = [t for t in self._threads if t.phase in ("blocked", "gated")]
         if stuck:
@@ -314,7 +365,16 @@ class MulticoreEngine:
     # ------------------------------------------------------------------
     def _schedule(self, when: int, thread_id: int) -> None:
         self._seq += 1
+        thread = self._threads[thread_id]
+        thread.pending_seq = self._seq
+        thread.pending_at = when
         heapq.heappush(self._events, (when, self._seq, thread_id))
+
+    def _requeue(self, when: int, thread_id: int, txn: Transaction) -> None:
+        """Inject ``txn`` as an arrival on ``thread_id`` at time ``when``."""
+        self._seq += 1
+        self._arrival_payload[self._seq] = (thread_id, txn)
+        heapq.heappush(self._events, (max(when, self._now), self._seq, thread_id))
 
     def _step(self, thread: _Thread, now: int) -> None:
         phase = thread.phase
@@ -328,13 +388,22 @@ class MulticoreEngine:
             self._do_commit(thread, now)
         elif phase == "finish":
             self._do_finish(thread, now)
-        elif phase in ("idle", "blocked", "gated"):
+        elif phase in ("idle", "blocked", "gated", "crashed"):
             pass  # spurious wakeup; nothing to do
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown thread phase {phase!r}")
 
     def _handle_arrival(self, thread_id: int, txn: Transaction, now: int) -> None:
         thread = self._threads[thread_id]
+        if thread.phase == "crashed":
+            # The target failed after this arrival was queued; divert to
+            # the coldest survivor so the transaction is never lost.
+            survivors = [t for t in self._threads if t.phase != "crashed"]
+            if not survivors:
+                raise SimulationError(
+                    f"arrival for crashed thread {thread_id} with no "
+                    f"surviving threads at cycle {now}")
+            thread = min(survivors, key=lambda t: (t.busy, t.id))
         thread.buffer.append(txn)
         if thread.phase == "idle":
             thread.phase = "dispatch"
@@ -375,6 +444,10 @@ class MulticoreEngine:
         self._txn_seq += 1
         active = ActiveTxn(txn=txn, thread_id=thread.id, ts=self._txn_seq,
                            dispatched_at=now)
+        if self._carry_attempts:
+            # A requeued retry (crash recovery / defer_coldest migration)
+            # keeps its abort count so retry statistics stay truthful.
+            active.attempt = self._carry_attempts.pop(txn.tid, 0)
         active.attempt_start = now + cost
         thread.active = active
         thread.dispatch_began = now
@@ -469,7 +542,10 @@ class MulticoreEngine:
                                         active.txn.tid,
                                         {"writes": len(active.write_buffer)}))
         thread.phase = "finish"
-        self._schedule(now + active.txn.io_delay_cycles, thread.id)
+        stall = active.txn.io_delay_cycles
+        if self.faults is not None:
+            stall += self.faults.io_extra(now)
+        self._schedule(now + stall, thread.id)
 
     def _do_finish(self, thread: _Thread, now: int) -> None:
         active = thread.active
@@ -477,6 +553,8 @@ class MulticoreEngine:
         self.protocol.cleanup(active, True, now)
         if self.progress_hooks is not None:
             self.progress_hooks.on_commit(thread.id, active.txn, now)
+        if self.faults is not None:
+            self.faults.note_recovery(thread.id, now)
         thread.busy += now - thread.dispatch_began
         born = self._arrived_at.get(active.txn.tid, active.dispatched_at)
         latency = now - born
@@ -489,6 +567,12 @@ class MulticoreEngine:
                                          "latency": latency}))
         thread.active = None
         thread.phase = "dispatch"
+        if thread.crash_pending:
+            # A crash fired while this transaction was past its commit
+            # point; the install completed, now the thread fail-stops.
+            thread.crash_pending = False
+            self._crash_now(thread, now)
+            return
         self._schedule(now, thread.id)
 
     def _abort(self, thread: _Thread, now: int, reason: str = "") -> None:
@@ -501,17 +585,127 @@ class MulticoreEngine:
             raise SimulationError(
                 f"transaction {active.txn} exceeded {MAX_RETRIES} retries"
             )
-        jitter_span = max(1, (self.config.abort_penalty + self.config.op_cost) // 2)
-        restart = now + self.config.abort_penalty + self._rng.randint(0, jitter_span)
+        decision = self.restart_policy.on_abort(active, now)
+        restart = decision.restart_at
+        target = decision.requeue_thread
         if self.tracer is not None:
+            attrs = {"attempt": active.attempt, "reason": reason,
+                     "restart": restart}
+            if target is not None:
+                attrs["requeue"] = target
             self.tracer.emit(TraceEvent(now, thread.id, "abort",
-                                        active.txn.tid,
-                                        {"attempt": active.attempt,
-                                         "reason": reason,
-                                         "restart": restart}))
+                                        active.txn.tid, attrs))
+        if target is not None and target != thread.id:
+            # Migrate the retry: the transaction travels to the target
+            # thread's buffer with its attempt count and birth time, and
+            # this thread moves on to its next buffered transaction.
+            self._carry_attempts[active.txn.tid] = active.attempt
+            self._arrived_at.setdefault(active.txn.tid, active.dispatched_at)
+            if self.faults is not None:
+                self.faults.retarget_recovery(thread.id, target)
+            thread.busy += now - thread.dispatch_began
+            thread.active = None
+            thread.phase = "dispatch"
+            self._requeue(restart, target, active.txn)
+            self._schedule(now, thread.id)
+            return
         active.reset_attempt(restart)
         thread.phase = "op"
         self._schedule(restart, thread.id)
+
+    # ------------------------------------------------------------------
+    # fault application (repro.faults)
+    # ------------------------------------------------------------------
+    def _apply_fault(self, ev: FaultEvent, now: int) -> None:
+        target = self._threads[ev.thread] if ev.thread >= 0 else None
+        tid = (target.active.txn.tid
+               if target is not None and target.active is not None else -1)
+        if ev.kind == "spurious_abort":
+            applied = self._fault_abort(target, now)
+        elif ev.kind == "stall":
+            applied = self._fault_stall(target, now, ev.duration)
+        elif ev.kind == "crash":
+            applied = self._fault_crash(target, now)
+        else:
+            # Windowed kinds (io_spike, probe_corruption) apply passively
+            # through io_extra() / probe_corrupt() point queries.
+            applied = True
+        self.faults.record(ev, applied, now)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                now, max(ev.thread, 0), "fault", tid,
+                {"fault": ev.kind, "applied": applied,
+                 "duration": ev.duration}))
+
+    def _fault_abort(self, thread: _Thread, now: int) -> bool:
+        """Poison whatever ``thread`` is executing; it retries as usual."""
+        active = thread.active
+        if active is None or thread.phase not in ("op", "blocked", "precommit"):
+            return False
+        if thread.phase == "blocked":
+            # Leave the lock's waiter queue *before* cleanup releases our
+            # held locks, so a grant can never pick the aborted waiter.
+            cancel = getattr(self.protocol, "cancel_wait", None)
+            if cancel is not None:
+                cancel(active, active.txn.ops[active.op_index])
+            self._counters.blocked_cycles += now - active.blocked_since
+        self._abort(thread, now, reason="injected: spurious abort")
+        return True
+
+    def _fault_stall(self, thread: _Thread, now: int, duration: int) -> bool:
+        """Delay the thread's next step by ``duration`` cycles."""
+        if thread.phase in ("idle", "blocked", "gated", "crashed"):
+            return False
+        self._schedule(thread.pending_at + duration, thread.id)
+        return True
+
+    def _fault_crash(self, thread: _Thread, now: int) -> bool:
+        """Fail-stop ``thread`` for the remainder of the phase."""
+        if thread.phase == "crashed":
+            return False
+        if thread.phase in ("commit", "finish"):
+            # Past the commit point: the install is already durable in
+            # this model, so let it complete and fail stop right after
+            # (otherwise a committed transaction would re-execute).
+            thread.crash_pending = True
+            return True
+        self._crash_now(thread, now)
+        return True
+
+    def _crash_now(self, thread: _Thread, now: int) -> None:
+        survivors = [t for t in self._threads
+                     if t.id != thread.id and t.phase != "crashed"]
+        if not survivors:
+            raise SimulationError(
+                f"fault plan crashed every thread by cycle {now}")
+        survivors.sort(key=lambda t: (t.busy, t.id))
+        active = thread.active
+        if active is not None:
+            if thread.phase == "blocked":
+                cancel = getattr(self.protocol, "cancel_wait", None)
+                if cancel is not None:
+                    cancel(active, active.txn.ops[active.op_index])
+                self._counters.blocked_cycles += now - active.blocked_since
+            self.protocol.cleanup(active, False, now)
+            self._counters.aborts += 1
+            self._counters.wasted_cycles += now - active.attempt_start
+            active.attempt += 1
+            self._carry_attempts[active.txn.tid] = active.attempt
+            self._arrived_at.setdefault(active.txn.tid, active.dispatched_at)
+            thread.busy += now - thread.dispatch_began
+            # The in-flight transaction restarts on the coldest survivor
+            # after the abort penalty; buffered ones move immediately.
+            if self.faults is not None:
+                self.faults.retarget_recovery(thread.id, survivors[0].id)
+            self._requeue(now + self.config.abort_penalty, survivors[0].id,
+                          active.txn)
+            thread.active = None
+        moved = list(thread.buffer)
+        thread.buffer.clear()
+        for i, txn in enumerate(moved):
+            self._requeue(now, survivors[i % len(survivors)].id, txn)
+        thread.phase = "crashed"
+        thread.pending_seq = -1
 
     def _apply_writes(self, active: ActiveTxn) -> None:
         inserted = {

@@ -307,3 +307,71 @@ class TestExperimentLookup:
     def test_dotted_path_to_nothing_is_unknown(self):
         with pytest.raises(UnknownExperimentError):
             lookup_experiment("repro.bench.experiments:not_there")
+
+
+# ---------------------------------------------------------------------------
+# fault-injection differential (repro.faults; docs/faults.md)
+# ---------------------------------------------------------------------------
+from repro.bench.experiments import tpcc_workload  # noqa: E402
+from repro.bench.runner import run_system  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.obs import export_run  # noqa: E402
+
+
+class TestFaultDifferential:
+    """An installed-but-empty fault plan must be invisible: the exported
+    repro.run/1 artifact is byte-identical to one from a run that never
+    saw the faults layer."""
+
+    @pytest.mark.parametrize("kind", ["ycsb", "tpcc"])
+    def test_none_plan_artifact_byte_identical(self, kind, tmp_path):
+        exp = default_exp(TINY)
+        if kind == "ycsb":
+            workload = ycsb_workload(TINY, exp, 0.8, seed=0)
+        else:
+            workload = tpcc_workload(TINY, exp, seed=0)
+        base = run_system(workload, "dbcc", exp)
+        nulled = run_system(workload, "dbcc", exp,
+                            fault_plan=FaultPlan.none())
+        p_base = tmp_path / f"{kind}-base.json"
+        p_null = tmp_path / f"{kind}-null.json"
+        export_run(p_base, base, config=exp, workload=kind)
+        export_run(p_null, nulled, config=exp, workload=kind)
+        assert p_base.read_bytes() == p_null.read_bytes()
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("exp_id", ["fig5a", "fig4l"])
+    def test_unfaulted_cells_carry_no_fault_digest(self, exp_id, jobs,
+                                                   tmp_path):
+        """YCSB (fig5a) and TPC-C (fig4l) sweeps never set exp.faults, so
+        every cell key's fault digest is empty at any jobs count — the
+        cache-compatibility half of the differential."""
+        _s, r = run_experiment_cells(exp_id, TINY, jobs=jobs,
+                                     cache_dir=tmp_path)
+        assert r.failed == []
+        paths = sorted((tmp_path / "cells" / exp_id).glob("*.json"))
+        assert len(paths) == r.total_cells
+        for path in paths:
+            assert load_artifact(path)["cell"]["faults"] == ""
+
+
+class TestFaultedParallelDeterminism:
+    def test_abl_faults_jobs4_bit_identical_to_jobs1(self):
+        """Chaos cells replay exactly across the process boundary: the
+        fault plan compiles from (spec, threads) alone, so spawn workers
+        reconstruct the identical timeline."""
+        s1, r1 = run_experiment_cells("abl_faults", TINY, jobs=1)
+        s4, r4 = run_experiment_cells("abl_faults", TINY, jobs=4)
+        assert r1.failed == [] and r4.failed == []
+        assert s1.to_payload() == s4.to_payload()
+
+    def test_fault_digest_lands_in_cell_keys(self, tmp_path):
+        _s, r = run_experiment_cells("abl_faults", TINY, jobs=1,
+                                     cache_dir=tmp_path)
+        assert r.failed == []
+        docs = [load_artifact(p) for p in
+                sorted((tmp_path / "cells" / "abl_faults").glob("*.json"))]
+        digests = {doc["cell"]["faults"] for doc in docs}
+        assert "" in digests  # the 'none' scenario cells
+        assert len(digests) == 2  # ... plus the chaos-plan digest
+        assert all(len(d) == 64 for d in digests if d)

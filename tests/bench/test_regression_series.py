@@ -1,0 +1,47 @@
+"""Golden Series digests: the no-faults pipeline must never drift.
+
+The restart-policy extraction and the fault-injection layer refactored
+the engine's hot paths.  With faults disabled (every stock experiment),
+the refactor must be *bit-invisible*: the full Series payload — every
+throughput, retry, latency, and imbalance number, for YCSB and TPC-C,
+across the sequential and parallel harness paths — hashes to the same
+digest as before the faults layer existed.
+
+If an intentional behaviour change moves these numbers, regenerate with:
+
+    PYTHONPATH=src python - <<'PY'
+    from repro.bench.experiments import run_experiment
+    from repro.common.hashing import config_hash
+    from tests.bench.test_regression_series import TINY
+    for exp_id in ("fig5a", "fig4l"):
+        h = config_hash(run_experiment(exp_id, TINY).to_payload())
+        print(exp_id, h)
+    PY
+
+and say why in the commit message.
+"""
+
+import pytest
+
+from repro.bench.experiments import Scale, run_experiment
+from repro.common.hashing import config_hash
+
+TINY = Scale(name="quick", bundle=48, seeds=(0, 1), threads=4,
+             ycsb_records=20_000, tpcc_warehouses=4)
+
+#: Digests recorded on the commit *before* the faults layer merged.
+GOLDEN = {
+    # YCSB, DBCC + TSKD[CC], theta sweep endpoints, 2 seeds
+    "fig5a": "b2b24ccbf74ee6a51c81b5c8f1ad8fe901a2130c97428f39a851bd3144cda8ce",
+    # TPC-C, cross-warehouse sweep endpoints, 2 seeds
+    "fig4l": "df14bd35c6a18ab5f457b59d639fbdb8c45be6733bf8f7fd2c692b73e21bd779",
+}
+
+
+@pytest.mark.parametrize("exp_id", sorted(GOLDEN))
+def test_series_payload_matches_pre_faults_golden(exp_id):
+    series = run_experiment(exp_id, TINY)
+    assert config_hash(series.to_payload()) == GOLDEN[exp_id], (
+        f"{exp_id} drifted from its pre-faults-layer golden digest; "
+        "the faults-disabled path is supposed to be bit-identical"
+    )

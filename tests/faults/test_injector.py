@@ -1,0 +1,188 @@
+"""Engine-level fault injection: inertness, every fault kind, tracing."""
+
+import pytest
+
+from repro.bench.runner import engine_of, run_system
+from repro.common import ExperimentConfig, SimConfig
+from repro.core.tskd import TSKD
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.tracing import ListTracer, validate_events
+from repro.sim import assert_serializable
+
+
+def exp4(**sim_kw) -> ExperimentConfig:
+    return ExperimentConfig(sim=SimConfig(num_threads=4, **sim_kw))
+
+
+def run_pair(workload, exp, fault_plan):
+    """(baseline, faulted) runs of the same workload/system."""
+    base = run_system(workload, "dbcc", exp, record_history=True)
+    chaos = run_system(workload, "dbcc", exp, fault_plan=fault_plan,
+                       record_history=True)
+    return base, chaos
+
+
+class TestInertness:
+    """An installed-but-empty injector must change nothing (the
+    differential contract — docs/faults.md)."""
+
+    def test_empty_plan_is_invisible(self, small_ycsb):
+        exp = exp4()
+        base, chaos = run_pair(small_ycsb, exp, FaultPlan.none())
+        assert base.committed == chaos.committed
+        assert base.makespan_cycles == chaos.makespan_cycles
+        assert base.retries == chaos.retries
+        assert base.thread_busy_cycles == chaos.thread_busy_cycles
+        assert base.latency_p99 == chaos.latency_p99
+
+    def test_empty_injector_publishes_nothing(self, small_ycsb):
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=FaultPlan.none())
+        assert r.metrics.value("faults.recovered") is None
+
+    def test_exp_faults_none_means_no_injector(self, small_ycsb):
+        """exp.faults=None and a disabled spec both run fault-free."""
+        base = run_system(small_ycsb, "dbcc", exp4())
+        off = run_system(small_ycsb, "dbcc",
+                         exp4().with_(faults=FaultSpec()))
+        assert base.makespan_cycles == off.makespan_cycles
+
+
+class TestSpuriousAborts:
+    def test_every_fired_fault_is_traced(self, small_ycsb):
+        spec = FaultSpec(seed=2, spurious_aborts=6)
+        plan = FaultPlan.compile(spec, 4)
+        tracer = ListTracer()
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan,
+                       tracer=tracer)
+        fault_events = tracer.of_kind("fault")
+        assert fault_events, "no injected fault was traced"
+        assert validate_events(tracer.events) is None
+        applied = sum(1 for e in fault_events if e.attrs["applied"])
+        assert applied == (r.metrics.value("faults.applied.spurious_abort")
+                           or 0)
+        assert all(e.attrs["fault"] == "spurious_abort"
+                   for e in fault_events)
+        assert r.committed == len(small_ycsb)
+
+    def test_applied_aborts_count_as_retries(self, small_ycsb):
+        """Each injected abort is a retry; the *organic* abort count may
+        shift either way once the interleaving changes, so only the
+        lower bound is an invariant."""
+        plan = FaultPlan.compile(FaultSpec(seed=2, spurious_aborts=6), 4)
+        _, chaos = run_pair(small_ycsb, exp4(), plan)
+        applied = chaos.metrics.value("faults.applied.spurious_abort") or 0
+        assert applied >= 1
+        assert chaos.retries >= applied
+        assert chaos.committed == len(small_ycsb)
+
+
+class TestStalls:
+    def test_stall_defers_the_threads_next_step(self, small_ycsb):
+        plan = FaultPlan.compile(
+            FaultSpec(seed=3, stalls=4, stall_cycles=80_000), 4)
+        base, chaos = run_pair(small_ycsb, exp4(), plan)
+        assert chaos.committed == len(small_ycsb)
+        applied = chaos.metrics.value("faults.applied.stall") or 0
+        if applied:
+            assert chaos.makespan_cycles > base.makespan_cycles
+
+
+class TestCrashes:
+    # A short horizon keeps the crash times inside this bundle's run.
+    SPEC = FaultSpec(seed=4, crashes=2, horizon=300_000)
+
+    def test_no_transaction_lost_or_duplicated(self, small_ycsb):
+        plan = FaultPlan.compile(self.SPEC, 4)
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan,
+                       record_history=True)
+        assert r.committed == len(small_ycsb)
+        tids = [t.tid for t in engine_of(r).history]
+        assert len(tids) == len(set(tids)) == len(small_ycsb)
+        assert_serializable(engine_of(r).history)
+
+    def test_crashed_threads_stop_accruing_work(self, small_ycsb):
+        plan = FaultPlan.compile(self.SPEC, 4)
+        tracer = ListTracer()
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan,
+                       tracer=tracer, record_history=True)
+        crashed = {e.thread for e in tracer.of_kind("fault")
+                   if e.attrs["fault"] == "crash" and e.attrs["applied"]}
+        assert crashed, "no crash applied on this seed"
+        # A crash mid-commit defers fail-stop until the install lands,
+        # so commits may trail the crash timestamp slightly — but a
+        # crashed thread never dispatches new work.
+        for e in tracer.of_kind("dispatch"):
+            if e.thread in crashed:
+                crash_t = min(f.t for f in tracer.of_kind("fault")
+                              if f.attrs["fault"] == "crash"
+                              and f.thread == e.thread)
+                assert e.t <= crash_t
+
+
+class TestIoSpikes:
+    def test_commits_inside_a_spike_pay_extra(self, small_ycsb):
+        # One wall-to-wall spike window: every commit pays the surcharge.
+        spec = FaultSpec(seed=5, io_spikes=1, io_spike_len=50_000_000,
+                         io_spike_cycles=10_000, horizon=1)
+        plan = FaultPlan.compile(spec, 4)
+        base, chaos = run_pair(small_ycsb, exp4(), plan)
+        assert chaos.metrics.value("faults.io_spike_commits") >= 1
+        assert chaos.makespan_cycles > base.makespan_cycles
+        assert chaos.committed == len(small_ycsb)
+
+
+class TestProbeCorruption:
+    def test_tsdefer_probes_get_corrupted(self, small_ycsb):
+        spec = FaultSpec(seed=6, probe_corruptions=1,
+                         probe_corruption_len=50_000_000, horizon=1)
+        plan = FaultPlan.compile(spec, 4)
+        r = run_system(small_ycsb, TSKD.instance("CC"), exp4(),
+                       fault_plan=plan, record_history=True)
+        assert r.committed == len(small_ycsb)
+        assert (r.metrics.value("progress_table.corrupted_observations")
+                or 0) > 0
+        assert (r.metrics.value("faults.corrupted_probes") or 0) > 0
+        assert_serializable(engine_of(r).history)
+
+    def test_dbcc_has_no_probes_to_corrupt(self, small_ycsb):
+        spec = FaultSpec(seed=6, probe_corruptions=1,
+                         probe_corruption_len=50_000_000, horizon=1)
+        plan = FaultPlan.compile(spec, 4)
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan)
+        assert (r.metrics.value("faults.corrupted_probes") or 0) == 0
+
+
+class TestReplay:
+    def test_chaos_run_is_bit_reproducible(self, small_ycsb):
+        spec = FaultSpec(seed=7, spurious_aborts=4, stalls=2, crashes=1,
+                         io_spikes=2, probe_corruptions=1)
+        plan = FaultPlan.compile(spec, 4)
+        a = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan)
+        b = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan)
+        assert a.makespan_cycles == b.makespan_cycles
+        assert a.retries == b.retries
+        assert a.thread_busy_cycles == b.thread_busy_cycles
+        assert a.latency_p99 == b.latency_p99
+
+
+class TestInjectorAccounting:
+    def test_every_fired_event_is_traced_once(self, small_ycsb):
+        spec = FaultSpec(seed=8, spurious_aborts=5, stalls=3, crashes=1)
+        plan = FaultPlan.compile(spec, 4)
+        tracer = ListTracer()
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan,
+                       tracer=tracer)
+        fired = tracer.of_kind("fault")
+        # Events stamped past the last engine event never fire; every
+        # one that did fire is traced exactly once, applied or missed.
+        assert len(fired) <= len(plan.events)
+        counted = sum((r.metrics.value(f"faults.{bucket}.{kind}") or 0)
+                      for bucket in ("applied", "missed")
+                      for kind in ("spurious_abort", "stall", "crash"))
+        assert len(fired) == counted
+
+    def test_recovery_metric_present_under_chaos(self, small_ycsb):
+        plan = FaultPlan.compile(FaultSpec(seed=9, stalls=4), 4)
+        r = run_system(small_ycsb, "dbcc", exp4(), fault_plan=plan)
+        if (r.metrics.value("faults.applied.stall") or 0) > 0:
+            assert (r.metrics.value("faults.recovered") or 0) >= 1

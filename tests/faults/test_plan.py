@@ -1,0 +1,129 @@
+"""FaultSpec validation and FaultPlan compilation determinism."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec, plan_for
+
+
+class TestFaultSpec:
+    def test_default_spec_is_disabled(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+
+    def test_any_count_enables(self):
+        for knob in ("spurious_aborts", "stalls", "crashes", "io_spikes",
+                     "probe_corruptions"):
+            assert FaultSpec(**{knob: 1}).enabled
+
+    def test_with_returns_new_spec(self):
+        spec = FaultSpec()
+        other = spec.with_(crashes=2)
+        assert spec.crashes == 0 and other.crashes == 2
+
+    @pytest.mark.parametrize("bad", [
+        dict(horizon=0),
+        dict(spurious_aborts=-1),
+        dict(crashes=-3),
+        dict(stall_cycles=0),
+        dict(io_spike_len=-1),
+    ])
+    def test_rejects_invalid_knobs(self, bad):
+        with pytest.raises(ConfigError):
+            FaultSpec(**bad)
+
+
+class TestCompile:
+    SPEC = FaultSpec(seed=7, spurious_aborts=5, stalls=3, crashes=2,
+                     io_spikes=2, probe_corruptions=1)
+
+    def test_same_inputs_same_timeline(self):
+        a = FaultPlan.compile(self.SPEC, 8)
+        b = FaultPlan.compile(self.SPEC, 8)
+        assert a.events == b.events
+        assert a.digest == b.digest
+
+    def test_different_seed_different_timeline(self):
+        a = FaultPlan.compile(self.SPEC, 8)
+        b = FaultPlan.compile(self.SPEC.with_(seed=8), 8)
+        assert a.events != b.events
+        assert a.digest != b.digest
+
+    def test_thread_count_is_part_of_the_plan(self):
+        a = FaultPlan.compile(self.SPEC, 4)
+        b = FaultPlan.compile(self.SPEC, 8)
+        assert a.digest != b.digest
+
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan.compile(self.SPEC, 8)
+        whens = [e.when for e in plan.events]
+        assert whens == sorted(whens)
+
+    def test_counts_match_spec(self):
+        plan = FaultPlan.compile(self.SPEC, 8)
+        assert len(plan.of_kind("spurious_abort")) == 5
+        assert len(plan.of_kind("stall")) == 3
+        assert len(plan.of_kind("crash")) == 2
+        assert len(plan.io_windows) == 2
+        assert len(plan.probe_windows) == 1
+        assert len(plan.events) == 13
+
+    def test_all_kinds_are_known(self):
+        plan = FaultPlan.compile(self.SPEC, 8)
+        assert {e.kind for e in plan.events} <= set(FAULT_KINDS)
+
+    def test_events_within_horizon(self):
+        plan = FaultPlan.compile(self.SPEC, 8)
+        assert all(0 <= e.when < self.SPEC.horizon for e in plan.events)
+
+    def test_thread_scoped_kinds_target_valid_threads(self):
+        plan = FaultPlan.compile(self.SPEC, 4)
+        for ev in plan.events:
+            if ev.kind in ("spurious_abort", "stall", "crash"):
+                assert 0 <= ev.thread < 4
+            else:
+                assert ev.thread == -1
+
+    def test_one_kind_does_not_shift_another(self):
+        """Named per-kind streams: adding stalls must not move crashes."""
+        base = FaultPlan.compile(self.SPEC, 8)
+        more = FaultPlan.compile(self.SPEC.with_(stalls=30), 8)
+        assert base.of_kind("crash") == more.of_kind("crash")
+        assert base.of_kind("io_spike") == more.of_kind("io_spike")
+
+
+class TestCrashClamping:
+    def test_at_least_one_thread_survives(self):
+        plan = FaultPlan.compile(FaultSpec(crashes=99), 4)
+        assert len(plan.of_kind("crash")) == 3
+
+    def test_crash_victims_are_distinct(self):
+        plan = FaultPlan.compile(FaultSpec(crashes=5), 8)
+        victims = [e.thread for e in plan.of_kind("crash")]
+        assert len(victims) == len(set(victims)) == 5
+
+    def test_single_thread_never_crashes(self):
+        assert not FaultPlan.compile(FaultSpec(crashes=3), 1).enabled
+
+
+class TestEmptyPlans:
+    def test_none_is_inert(self):
+        plan = FaultPlan.none()
+        assert not plan.enabled
+        assert plan.events == ()
+
+    def test_disabled_spec_compiles_empty(self):
+        assert not FaultPlan.compile(FaultSpec(), 8).enabled
+
+    def test_plan_for_returns_none_for_no_chaos(self):
+        assert plan_for(None, 8) is None
+        assert plan_for(FaultSpec(), 8) is None
+        assert plan_for(FaultSpec(crashes=1), 8).enabled
+
+    def test_zero_threads_compiles_empty(self):
+        assert not FaultPlan.compile(FaultSpec(crashes=1), 0).enabled
+
+
+class TestFaultEvent:
+    def test_end_is_when_plus_duration(self):
+        assert FaultEvent(when=100, kind="io_spike", duration=40).end == 140

@@ -1,0 +1,154 @@
+"""Restart policies: legacy bit-compat, backoff bounds, coldest targeting."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.common.config import RESTART_POLICIES, SimConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import Rng
+from repro.faults.policies import (
+    DeferColdest,
+    ExponentialBackoff,
+    ImmediateRestart,
+    RestartDecision,
+    RestartPolicy,
+    make_policy,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class StubActive:
+    """Just the fields a policy reads from an in-flight transaction."""
+
+    attempt: int = 1
+    thread_id: int = 0
+
+
+@dataclass
+class StubThread:
+    id: int
+    busy: int
+    phase: str = "dispatch"
+
+
+@dataclass
+class StubEngine:
+    _threads: list = field(default_factory=list)
+
+
+CFG = SimConfig(num_threads=4)
+
+
+class TestImmediateRestart:
+    def test_matches_legacy_formula_bit_for_bit(self):
+        """The pre-refactor engine drew ``now + abort_penalty +
+        U[0, (abort_penalty + op_cost) // 2]`` from Rng(seed*61+29);
+        the extracted policy must reproduce that draw sequence exactly
+        (the no-faults differential depends on it)."""
+        policy = ImmediateRestart(CFG, Rng(CFG.seed * 61 + 29))
+        legacy = Rng(CFG.seed * 61 + 29)
+        span = max(1, (CFG.abort_penalty + CFG.op_cost) // 2)
+        for now in (0, 1_000, 123_456, 999_999_999):
+            want = now + CFG.abort_penalty + legacy.randint(0, span)
+            got = policy.on_abort(StubActive(), now)
+            assert got.restart_at == want
+            assert got.requeue_thread is None
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ImmediateRestart(CFG, Rng(1)), RestartPolicy)
+
+
+class TestExponentialBackoff:
+    def test_never_before_penalty_and_bounded_by_cap(self):
+        policy = ExponentialBackoff(CFG, Rng(3))
+        for attempt in range(1, 80):
+            d = policy.on_abort(StubActive(attempt=attempt), now=10_000)
+            assert d.restart_at >= 10_000 + CFG.abort_penalty
+            assert d.restart_at <= (10_000 + CFG.abort_penalty
+                                    + CFG.backoff_cap)
+
+    def test_span_doubles_then_saturates(self):
+        cfg = CFG.with_(backoff_base=100, backoff_cap=1_000)
+        lows = []
+        for attempt in (1, 2, 3, 4, 5, 20):
+            span = min(cfg.backoff_cap, cfg.backoff_base << (attempt - 1))
+            lows.append(span)
+        assert lows == [100, 200, 400, 800, 1_000, 1_000]
+
+    def test_huge_attempt_counts_do_not_overflow_the_shift(self):
+        policy = ExponentialBackoff(CFG, Rng(3))
+        d = policy.on_abort(StubActive(attempt=10_000), now=0)
+        assert d.restart_at <= CFG.abort_penalty + CFG.backoff_cap
+
+
+class TestDeferColdest:
+    def engine(self, busies, phases=None):
+        phases = phases or ["dispatch"] * len(busies)
+        return StubEngine([StubThread(i, b, p)
+                           for i, (b, p) in enumerate(zip(busies, phases))])
+
+    def test_targets_least_busy_thread(self):
+        policy = DeferColdest(CFG, Rng(5), self.engine([900, 100, 500]))
+        d = policy.on_abort(StubActive(thread_id=0), now=0)
+        assert d.requeue_thread == 1
+
+    def test_stays_in_place_when_self_is_coldest(self):
+        policy = DeferColdest(CFG, Rng(5), self.engine([100, 900, 500]))
+        d = policy.on_abort(StubActive(thread_id=0), now=0)
+        assert d.requeue_thread is None
+
+    def test_ties_break_to_lowest_id(self):
+        policy = DeferColdest(CFG, Rng(5), self.engine([900, 300, 300]))
+        d = policy.on_abort(StubActive(thread_id=0), now=0)
+        assert d.requeue_thread == 1
+
+    def test_never_targets_a_crashed_thread(self):
+        policy = DeferColdest(
+            CFG, Rng(5),
+            self.engine([900, 0, 500], ["dispatch", "crashed", "dispatch"]))
+        d = policy.on_abort(StubActive(thread_id=0), now=0)
+        assert d.requeue_thread == 2
+
+
+class TestMakePolicy:
+    def test_every_configured_name_constructs(self):
+        engine = StubEngine([StubThread(0, 0)])
+        for name in RESTART_POLICIES:
+            policy = make_policy(name, CFG, Rng(1), engine=engine)
+            assert policy.name == name
+            assert isinstance(policy, RestartPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            make_policy("yolo", CFG, Rng(1))
+
+    def test_defer_coldest_requires_engine(self):
+        with pytest.raises(ConfigError):
+            make_policy("defer_coldest", CFG, Rng(1))
+
+
+class TestSimConfigKnobs:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            SimConfig(restart_policy="yolo")
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ConfigError):
+            SimConfig(backoff_base=0)
+        with pytest.raises(ConfigError):
+            SimConfig(backoff_base=1_000, backoff_cap=500)
+
+
+class TestPublish:
+    def test_metrics_reflect_decisions(self):
+        policy = ImmediateRestart(CFG, Rng(1))
+        for now in (0, 100, 200):
+            policy.on_abort(StubActive(), now)
+        reg = MetricsRegistry()
+        policy.publish(reg)
+        assert reg.value("restart.decisions") == 3
+        assert reg.value("restart.requeues") == 0
+        assert reg.value("restart.delay_cycles") > 0
+        assert reg.value("restart.mean_delay_cycles") > 0

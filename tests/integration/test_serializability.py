@@ -123,3 +123,61 @@ class TestHarnessPathsAgree:
         assert pooled.to_payload() == sequential.to_payload()
         for cc in sorted(PROTOCOLS):
             assert sequential.get("DBCC", cc).throughput > 0
+
+
+# ---------------------------------------------------------------------------
+# invariants under chaos (repro.faults)
+# ---------------------------------------------------------------------------
+from repro.faults import FaultPlan, FaultSpec  # noqa: E402
+
+#: Aborts + stalls + I/O spikes (no crashes — those get their own test
+#: with a short horizon so they actually land inside the run).
+CHAOS = FaultSpec(seed=11, spurious_aborts=6, stalls=3, io_spikes=2,
+                  horizon=1_500_000)
+POLICIES = ["immediate", "backoff", "defer_coldest"]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("cc", ALL_CC)
+class TestSerializableUnderChaos:
+    """Every protocol x every restart policy: injected aborts, stalls,
+    and I/O spikes must never cost serializability or completeness."""
+
+    def test_chaotic_history_serializable(self, small_ycsb, cc, policy):
+        exp = ExperimentConfig(
+            sim=SimConfig(num_threads=4, cc=cc, restart_policy=policy))
+        plan = FaultPlan.compile(CHAOS, 4)
+        r = run_system(small_ycsb, "dbcc", exp, fault_plan=plan,
+                       record_history=True)
+        assert r.committed == len(small_ycsb)
+        history = engine_of(r).history
+        tids = [t.tid for t in history]
+        assert len(tids) == len(set(tids)) == len(small_ycsb)
+        assert_serializable(history)
+
+
+@pytest.mark.parametrize("cc", ["occ", "silo", "nowait"])
+class TestCrashedThreadsUnderChaos:
+    """Fail-stop crashes redistribute buffers: zero transactions lost,
+    zero duplicated, history still serializable."""
+
+    def test_crash_loses_nothing(self, small_ycsb, cc):
+        exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc=cc))
+        plan = FaultPlan.compile(
+            FaultSpec(seed=12, crashes=2, horizon=250_000), 4)
+        assert plan.of_kind("crash"), "plan must actually crash threads"
+        r = run_system(small_ycsb, "dbcc", exp, fault_plan=plan,
+                       record_history=True)
+        assert r.committed == len(small_ycsb)
+        tids = [t.tid for t in engine_of(r).history]
+        assert len(tids) == len(set(tids)) == len(small_ycsb)
+        assert_serializable(engine_of(r).history)
+
+    def test_crash_under_tskd_cc(self, small_ycsb, cc):
+        exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc=cc))
+        plan = FaultPlan.compile(
+            FaultSpec(seed=12, crashes=1, horizon=250_000), 4)
+        r = run_system(small_ycsb, TSKD.instance("CC"), exp,
+                       fault_plan=plan, record_history=True)
+        assert r.committed == len(small_ycsb)
+        assert_serializable(engine_of(r).history)

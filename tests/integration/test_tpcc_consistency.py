@@ -68,3 +68,59 @@ class TestCheckerDetectsCorruption:
         h.delete(inserted[0])
         problems = tpcc_violations(db, committed, list(w))
         assert any("history" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# consistency under chaos (repro.faults)
+# ---------------------------------------------------------------------------
+from repro.faults import FaultPlan, FaultSpec  # noqa: E402
+
+
+def execute_chaos(system, spec, cc="occ", policy="immediate", n=120, seed=31):
+    gen = TpccGenerator(small_cfg(), seed=seed)
+    w = gen.make_workload(n)
+    db = Database()
+    gen.populate(db)
+    exp = ExperimentConfig(
+        sim=SimConfig(num_threads=4, cc=cc, restart_policy=policy))
+    plan = FaultPlan.compile(spec, 4)
+    result = run_system(w, system, exp, record_history=True, db=db,
+                        fault_plan=plan)
+    committed = [rec.tid for rec in engine_of(result).history]
+    return db, committed, w, result
+
+
+class TestConsistencyUnderChaos:
+    CHAOS = FaultSpec(seed=21, spurious_aborts=5, stalls=3, io_spikes=2,
+                      horizon=1_500_000)
+
+    @pytest.mark.parametrize("cc", ["occ", "silo", "tictoc", "nowait"])
+    def test_dbcc_chaotic_execution_is_consistent(self, cc):
+        db, committed, w, result = execute_chaos("dbcc", self.CHAOS, cc=cc)
+        assert result.committed == len(w)
+        assert_tpcc_consistent(db, committed, list(w))
+
+    @pytest.mark.parametrize("policy",
+                             ["immediate", "backoff", "defer_coldest"])
+    def test_every_restart_policy_preserves_consistency(self, policy):
+        db, committed, w, result = execute_chaos("dbcc", self.CHAOS,
+                                                 policy=policy)
+        assert result.committed == len(w)
+        assert_tpcc_consistent(db, committed, list(w))
+
+    def test_tskd_chaotic_execution_is_consistent(self):
+        db, committed, w, _ = execute_chaos(TSKD.instance("S"), self.CHAOS)
+        assert_tpcc_consistent(db, committed, list(w))
+
+
+class TestCrashConsistency:
+    CRASHY = FaultSpec(seed=22, crashes=2, spurious_aborts=3,
+                       horizon=250_000)
+
+    def test_crashes_lose_and_duplicate_nothing(self):
+        plan = FaultPlan.compile(self.CRASHY, 4)
+        assert plan.of_kind("crash"), "plan must actually crash threads"
+        db, committed, w, result = execute_chaos("dbcc", self.CRASHY)
+        assert result.committed == len(w)
+        assert len(committed) == len(set(committed)) == len(w)
+        assert_tpcc_consistent(db, committed, list(w))

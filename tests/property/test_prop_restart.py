@@ -1,0 +1,144 @@
+"""Property-based tests for restart policies (repro.faults.policies).
+
+Four contracts, over random configs / attempt numbers / clock values:
+
+* the backoff component never exceeds ``backoff_cap``;
+* a restart is never scheduled before ``now + abort_penalty`` (and so
+  never in the past);
+* the *expected* backoff delay is nondecreasing in the attempt number
+  (the span is deterministic in the attempt, so the expectation — 0.75
+  of the span — is checkable without sampling);
+* policy decisions depend only on (config, seed, inputs): a subprocess
+  with a different ``PYTHONHASHSEED`` reproduces the same sequence.
+"""
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import RESTART_POLICIES, SimConfig
+from repro.common.rng import Rng
+from repro.faults.policies import ExponentialBackoff, make_policy
+
+
+@dataclass
+class StubActive:
+    attempt: int = 1
+    thread_id: int = 0
+
+
+def sim_config(draw):
+    base = draw(st.integers(min_value=1, max_value=50_000))
+    return SimConfig(
+        seed=draw(st.integers(min_value=0, max_value=2**32)),
+        abort_penalty=draw(st.integers(min_value=0, max_value=100_000)),
+        backoff_base=base,
+        backoff_cap=base * draw(st.integers(min_value=1, max_value=1_000)),
+    )
+
+
+@st.composite
+def config_and_inputs(draw):
+    cfg = sim_config(draw)
+    now = draw(st.integers(min_value=0, max_value=10**12))
+    attempt = draw(st.integers(min_value=1, max_value=10_000))
+    return cfg, now, attempt
+
+
+@settings(max_examples=100, deadline=None)
+@given(config_and_inputs())
+def test_backoff_bounded_by_cap(ci):
+    cfg, now, attempt = ci
+    policy = ExponentialBackoff(cfg, Rng(cfg.seed * 61 + 29))
+    d = policy.on_abort(StubActive(attempt=attempt), now)
+    assert d.restart_at <= now + cfg.abort_penalty + cfg.backoff_cap
+
+
+@settings(max_examples=100, deadline=None)
+@given(config_and_inputs(), st.sampled_from(["immediate", "backoff"]))
+def test_restart_never_in_the_past(ci, name):
+    cfg, now, attempt = ci
+    policy = make_policy(name, cfg, Rng(cfg.seed * 61 + 29))
+    d = policy.on_abort(StubActive(attempt=attempt), now)
+    assert d.restart_at >= now + cfg.abort_penalty
+    assert d.restart_at >= now
+
+
+@settings(max_examples=100, deadline=None)
+@given(config_and_inputs())
+def test_backoff_expectation_monotone_in_attempt(ci):
+    """E[delay] = abort_penalty + 0.75 * span(attempt); span(attempt) is
+    deterministic, so monotonicity of the expectation reduces to
+    monotonicity of the span."""
+    cfg, _now, attempt = ci
+
+    def span(a):
+        shift = min(a - 1, 48)
+        return min(cfg.backoff_cap, cfg.backoff_base << shift)
+
+    assert span(attempt) <= span(attempt + 1)
+    assert span(attempt) <= cfg.backoff_cap
+
+
+_CHILD = r"""
+import sys
+from repro.common.config import SimConfig
+from repro.common.rng import Rng
+from repro.faults.policies import make_policy
+
+class StubActive:
+    def __init__(self, attempt):
+        self.attempt = attempt
+        self.thread_id = 0
+
+cfg = SimConfig(seed=1234, abort_penalty=5_000)
+for name in ("immediate", "backoff"):
+    policy = make_policy(name, cfg, Rng(cfg.seed * 61 + 29))
+    out = [policy.on_abort(StubActive(a), now=a * 1_000).restart_at
+           for a in range(1, 40)]
+    print(name, ",".join(map(str, out)))
+"""
+
+
+def _decision_trace(hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed,
+               PYTHONPATH=os.pathsep.join(sys.path))
+    out = subprocess.run([sys.executable, "-c", _CHILD], env=env,
+                         capture_output=True, text=True, check=True)
+    return out.stdout
+
+
+def test_decisions_identical_across_hashseeds():
+    """The same policy/config/seed must schedule the same restarts in
+    processes with different PYTHONHASHSEED (no dict/set iteration or
+    hash() leaks into the decision path)."""
+    traces = {_decision_trace(s) for s in ("0", "1", "424242")}
+    assert len(traces) == 1
+    assert "immediate" in next(iter(traces))
+
+
+def test_all_policies_deterministic_in_process():
+    class Engine:
+        class _T:
+            def __init__(self, i):
+                self.id, self.busy, self.phase = i, i * 100, "dispatch"
+
+        def __init__(self):
+            self._threads = [self._T(i) for i in range(4)]
+
+    cfg = SimConfig(seed=9)
+    for name in RESTART_POLICIES:
+        runs = []
+        for _ in range(2):
+            policy = make_policy(name, cfg, Rng(cfg.seed * 61 + 29),
+                                 engine=Engine())
+            runs.append([
+                (d.restart_at, d.requeue_thread)
+                for d in (policy.on_abort(StubActive(a), now=a * 777)
+                          for a in range(1, 30))
+            ])
+        assert runs[0] == runs[1]
