@@ -38,6 +38,32 @@ from ..txn.workload import Workload, split_round_robin
 
 System = Union[Partitioner, TSKD, str]
 
+#: System spec names accepted by :func:`make_system` (and the CLI's
+#: --system).  Append "!" to a tskd-* name for enforced CC-free queue
+#: execution (e.g. "tskd-s!").
+SYSTEM_SPECS = ("dbcc", "strife", "schism", "horticulture",
+                "tskd-s", "tskd-c", "tskd-h", "tskd-0", "tskd-cc")
+
+
+def make_system(name: str) -> System:
+    """Resolve a system spec string into a runnable system object."""
+    from ..partition import make_partitioner
+
+    name = name.lower()
+    if name == "dbcc":
+        return "dbcc"
+    if name in ("strife", "schism", "horticulture"):
+        return make_partitioner(name)
+    if name.startswith("tskd-"):
+        enforced = name.endswith("!")
+        name = name.rstrip("!")
+        tskd = TSKD.instance(name.split("-", 1)[1].upper()
+                             if name != "tskd-0" else "0")
+        if enforced:
+            tskd.queue_execution = "enforced"
+        return tskd
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_SPECS}")
+
 
 def system_name(system: System) -> str:
     if isinstance(system, str):

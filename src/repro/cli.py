@@ -7,6 +7,8 @@ Subcommands:
 * ``experiment`` — regenerate paper figures (wraps repro.bench.experiments);
 * ``faults``     — chaos run: inject a seeded fault plan, report recovery;
 * ``tune``       — pilot-run TsDEFER parameter tuning for a workload;
+* ``serve``      — run the live scheduling service (repro.serve);
+* ``loadgen``    — drive a running server with a seeded client fleet;
 * ``trace``      — replay a saved JSONL span log as a timeline;
 * ``report``     — render a saved JSON run artifact for humans.
 
@@ -15,11 +17,14 @@ Examples::
     python -m repro run --workload ycsb --theta 0.9 --system tskd-s
     python -m repro run --workload ycsb --system tskd-s \\
         --export-json out.json --trace out.trace.jsonl
+    python -m repro run --workload ycsb --system tskd-cc --offered-tps 30000
     python -m repro compare --workload tpcc --cross-pct 0.35 --bundle 1000
     python -m repro experiment fig4a fig5g --quick
     python -m repro faults --scenario chaos --restart-policy backoff
     python -m repro faults --crashes 2 --stalls 4 --replay-check
     python -m repro tune --workload ycsb --theta 0.8
+    python -m repro serve --port 7407 --system tskd-0 --export-json serve.json
+    python -m repro loadgen --port 7407 --txns 1000 --seed 0 --drain
     python -m repro trace out.trace.jsonl --tid 17
     python -m repro report out.json
 """
@@ -27,12 +32,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from typing import Sequence
 
 from .bench.experiments import main as experiments_main
-from .bench.runner import run_system
+from .bench.runner import SYSTEM_SPECS, make_system, run_system
 from .bench.workloads import (
     TpccGenerator,
     YcsbGenerator,
@@ -41,31 +47,33 @@ from .bench.workloads import (
 )
 from .common.config import (
     RESTART_POLICIES,
+    SERVE_ASSIGNMENTS,
+    ConfigError,
     ExperimentConfig,
     IoLatencyConfig,
     RuntimeSkewConfig,
+    ServeConfig,
     SimConfig,
     TpccConfig,
     YcsbConfig,
 )
 from .core.autotune import tune_tsdefer
-from .core.tskd import TSKD
 from .obs import (
+    SERVE_SCHEMA_ID,
     ArtifactError,
     JsonlTracer,
     export_run,
     load_artifact,
     load_trace,
     render_artifact,
+    render_serve_artifact,
     render_timeline,
     render_trace_summary,
 )
-from .partition import make_partitioner
 
 #: System spec names accepted by --system.  Append "!" to a tskd-* name
 #: for enforced CC-free queue execution (e.g. "tskd-s!").
-SYSTEMS = ("dbcc", "strife", "schism", "horticulture",
-           "tskd-s", "tskd-c", "tskd-h", "tskd-0", "tskd-cc")
+SYSTEMS = SYSTEM_SPECS
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -124,20 +132,10 @@ def _build(args) -> tuple:
 
 
 def _make_system(name: str):
-    name = name.lower()
-    if name == "dbcc":
-        return "dbcc"
-    if name in ("strife", "schism", "horticulture"):
-        return make_partitioner(name)
-    if name.startswith("tskd-"):
-        enforced = name.endswith("!")
-        name = name.rstrip("!")
-        tskd = TSKD.instance(name.split("-", 1)[1].upper()
-                             if name != "tskd-0" else "0")
-        if enforced:
-            tskd.queue_execution = "enforced"
-        return tskd
-    raise SystemExit(f"unknown system {name!r}; choose from {SYSTEMS}")
+    try:
+        return make_system(name)
+    except ValueError as e:
+        raise SystemExit(str(e))
 
 
 def _print_result(result) -> None:
@@ -146,6 +144,54 @@ def _print_result(result) -> None:
           f"p50={result.latency_p50:,}cy p99={result.latency_p99:,}cy"
           + (f"  s%={result.scheduled_pct * 100:.0f}"
              if result.scheduled_pct is not None else ""))
+
+
+def _run_open_system(workload, exp, args, tracer):
+    """Arrival-driven run; returns (RunResult, OpenSystemResult)."""
+    from .common.rng import Rng
+    from .common.stats import RunResult, percentile
+    from .core.tskd import TSKD
+    from .sim.engine import MulticoreEngine
+    from .sim.stream import run_open_system
+
+    system = _make_system(args.system)
+    k = exp.sim.num_threads
+    rng = Rng(exp.seed * 31 + 5)
+    filt = None
+    if isinstance(system, TSKD):
+        if system.use_tspar or system.partitioner is not None:
+            raise SystemExit(
+                "--offered-tps drives unbundled arrivals straight into the "
+                "thread buffers (no TsPAR phase); use --system dbcc or tskd-cc")
+        filt = system.make_filter(k, rng=rng.fork(3))
+    elif not isinstance(system, str):
+        raise SystemExit("--offered-tps supports dbcc or tskd-cc only")
+    engine = MulticoreEngine(exp.sim, dispatch_filter=filt,
+                             progress_hooks=filt, tracer=tracer)
+    if filt is not None:
+        filt.table.bind_buffers(engine.buffer_of)
+    osr = run_open_system(engine, list(workload), args.offered_tps,
+                          rng=rng.fork(4), assignment=args.arrival_assignment)
+    phase = osr.phase
+    lat = sorted(phase.latencies)
+    from .bench.runner import system_name
+
+    result = RunResult(
+        name=system_name(system),
+        committed=phase.counters.committed,
+        makespan_cycles=phase.end_time,
+        retries=phase.counters.aborts,
+        deferrals=phase.counters.deferrals,
+        contended_accesses=engine.protocol.contended,
+        wasted_cycles=phase.counters.wasted_cycles,
+        blocked_cycles=phase.counters.blocked_cycles,
+        num_threads=k,
+        thread_busy_cycles=tuple(phase.thread_busy),
+        latency_p50=percentile(lat, 0.50),
+        latency_p95=percentile(lat, 0.95),
+        latency_p99=percentile(lat, 0.99),
+    )
+    return result, osr
 
 
 def cmd_run(args) -> int:
@@ -161,18 +207,29 @@ def cmd_run(args) -> int:
         tracer = JsonlTracer(args.trace) if args.trace else None
     except OSError as e:
         raise SystemExit(f"cannot write trace {args.trace!r}: {e}")
+    open_system = None
     try:
-        result = run_system(workload, _make_system(args.system), exp,
-                            tracer=tracer)
+        if args.offered_tps:
+            result, osr = _run_open_system(workload, exp, args, tracer)
+            open_system = osr.to_dict()
+        else:
+            result = run_system(workload, _make_system(args.system), exp,
+                                tracer=tracer)
     finally:
         if tracer is not None:
             tracer.close()
     _print_result(result)
+    if open_system is not None:
+        print(f"open-system: offered {open_system['offered_tps']:,.0f} txn/s  "
+              f"completed {open_system['completed_tps']:,.0f} txn/s  "
+              + ("SATURATED" if open_system["saturated"] else "stable")
+              + f"  arrival p99={open_system['latency_p99']:,}cy")
     if tracer is not None:
         print(f"trace: {tracer.emitted} events -> {args.trace}")
     if args.export_json:
         export_run(args.export_json, result, config=exp,
-                   trace_path=args.trace, workload=args.workload)
+                   trace_path=args.trace, workload=args.workload,
+                   open_system=open_system)
         print(f"artifact: {args.export_json}")
     return 0
 
@@ -287,7 +344,10 @@ def cmd_report(args) -> int:
         raise SystemExit(f"{args.path!r} is not JSON: {e}")
     except ArtifactError as e:
         raise SystemExit(f"invalid artifact {args.path!r}: {e}")
-    print(render_artifact(doc))
+    if doc.get("schema") == SERVE_SCHEMA_ID:
+        print(render_serve_artifact(doc))
+    else:
+        print(render_artifact(doc))
     return 0
 
 
@@ -299,6 +359,114 @@ def cmd_compare(args) -> int:
                             name=name)
         _print_result(result)
     return 0
+
+
+def _build_serve_config(args) -> ServeConfig:
+    try:
+        return ServeConfig(
+            host=args.host,
+            port=args.port,
+            system=args.system,
+            epoch_max_txns=args.epoch_max_txns,
+            epoch_max_ms=args.epoch_max_ms,
+            queue_limit=args.queue_limit,
+            retry_after_ms=args.retry_after_ms,
+            assignment=args.assignment,
+            pipeline_depth=args.pipeline_depth,
+            record_epoch_tids=args.record_epoch_tids,
+        )
+    except ConfigError as e:
+        raise SystemExit(str(e))
+
+
+async def _serve_main(serve_cfg: ServeConfig, exp: ExperimentConfig,
+                      args) -> int:
+    import signal
+
+    from .serve import ServeServer
+
+    server = ServeServer(serve_cfg, exp, export_path=args.export_json,
+                         exit_on_drain=args.exit_on_drain)
+    await server.start()
+    print(f"serving {serve_cfg.system} on {serve_cfg.host}:{server.port}  "
+          f"(epochs: {serve_cfg.epoch_max_txns} txns / "
+          f"{serve_cfg.epoch_max_ms} ms, queue limit "
+          f"{serve_cfg.queue_limit})", flush=True)
+    loop = asyncio.get_running_loop()
+    interrupted = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, interrupted.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    serve_task = asyncio.create_task(server.serve_forever())
+    stop_task = asyncio.create_task(interrupted.wait())
+    await asyncio.wait({serve_task, stop_task},
+                       return_when=asyncio.FIRST_COMPLETED)
+    # Either a drain frame closed the listener (exit_on_drain) or a
+    # signal arrived: drain gracefully — finish every in-flight epoch,
+    # write the artifact — then close.
+    summary = await server.drain()
+    server._server.close()
+    await serve_task
+    await server.close_connections()
+    stop_task.cancel()
+    print(f"drained: {summary['committed']:,} committed over "
+          f"{summary['epochs']} epochs, {summary['rejected']:,} rejected  "
+          f"p99={summary['latency_ms']['p99']} ms")
+    if args.export_json:
+        print(f"artifact: {args.export_json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    serve_cfg = _build_serve_config(args)
+    exp = ExperimentConfig(
+        sim=SimConfig(num_threads=args.threads, cc=args.cc),
+        skew=None,
+        seed=args.seed,
+    )
+    return asyncio.run(_serve_main(serve_cfg, exp, args))
+
+
+def _build_loadgen_workload(args):
+    """Seeded transaction stream for loadgen (no engine config needed)."""
+    if args.workload == "ycsb":
+        gen = YcsbGenerator(YcsbConfig(num_records=args.records,
+                                       theta=args.theta), seed=args.seed)
+    else:
+        gen = TpccGenerator(TpccConfig(num_warehouses=args.warehouses,
+                                       cross_pct=args.cross_pct),
+                            seed=args.seed)
+    workload = gen.make_workload(args.txns)
+    if not args.no_skew:
+        apply_runtime_skew(workload, RuntimeSkewConfig(), SimConfig())
+    if args.io:
+        apply_io_latency(workload, IoLatencyConfig(l_io=args.io),
+                         seed=args.seed)
+    return workload
+
+
+def cmd_loadgen(args) -> int:
+    from .serve import run_loadgen
+
+    workload = _build_loadgen_workload(args)
+    try:
+        report = asyncio.run(run_loadgen(
+            args.host, args.port, list(workload),
+            clients=args.clients, mode=args.mode,
+            offered_tps=args.offered_tps, seed=args.seed,
+            drain=args.drain,
+        ))
+    except ConnectionError as e:
+        raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {e}")
+    except ValueError as e:
+        raise SystemExit(str(e))
+    doc = report.to_dict()
+    if report.drained is not None:
+        doc["server"] = report.drained
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0 if report.errors == 0 and report.committed == report.txns else 1
 
 
 def cmd_tune(args) -> int:
@@ -323,6 +491,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run one workload under one system")
     _add_workload_args(p_run)
     p_run.add_argument("--system", default="tskd-s", help=f"one of {SYSTEMS}")
+    p_run.add_argument("--offered-tps", type=float, default=None,
+                       help="drive a Poisson arrival stream at this rate "
+                            "instead of a pre-bundled batch (dbcc/tskd-cc); "
+                            "latency then includes queueing delay")
+    p_run.add_argument("--arrival-assignment", default="round_robin",
+                       choices=("round_robin", "random", "least_loaded"),
+                       help="how arrivals are dealt to threads "
+                            "(with --offered-tps)")
     p_run.add_argument("--export-json", metavar="PATH",
                        help="write a schema-validated run artifact here")
     p_run.add_argument("--trace", metavar="PATH",
@@ -359,6 +535,71 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_faults.add_argument("--replay-check", action="store_true",
                           help="run twice, assert identical artifact digests")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the live scheduling service (repro.serve)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7407,
+                       help="TCP port (0 binds an ephemeral port)")
+    p_srv.add_argument("--system", default="tskd-0",
+                       help="servable system (dbcc or a tskd-* instance)")
+    p_srv.add_argument("--threads", type=int, default=8)
+    p_srv.add_argument("--cc", default="occ",
+                       help="CC protocol the engine runs underneath")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--epoch-max-txns", type=int, default=256,
+                       help="close the epoch at this many transactions")
+    p_srv.add_argument("--epoch-max-ms", type=float, default=50.0,
+                       help="close the epoch this many wall ms after its "
+                            "first admission")
+    p_srv.add_argument("--queue-limit", type=int, default=4_096,
+                       help="max admitted-but-unanswered transactions "
+                            "before submits are rejected (backpressure)")
+    p_srv.add_argument("--retry-after-ms", type=float, default=25.0,
+                       help="retry hint sent with rejected submits")
+    p_srv.add_argument("--assignment", choices=SERVE_ASSIGNMENTS,
+                       default="round_robin",
+                       help="how CC-executed buffers are dealt to threads")
+    p_srv.add_argument("--pipeline-depth", type=int, default=1,
+                       help="scheduled epochs held ahead of execution")
+    p_srv.add_argument("--record-epoch-tids", action="store_true",
+                       help="record per-epoch transaction ids in the "
+                            "drain artifact (batch replay)")
+    p_srv.add_argument("--export-json", metavar="PATH",
+                       help="write a repro.serve/1 artifact on drain")
+    p_srv.add_argument("--exit-on-drain", action="store_true",
+                       help="shut the server down after the first drain "
+                            "frame (CI smoke runs)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="drive a running server with a seeded client fleet")
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, default=7407)
+    p_lg.add_argument("--txns", type=int, default=1_000,
+                      help="transactions to submit")
+    p_lg.add_argument("--clients", type=int, default=8,
+                      help="concurrent client connections")
+    p_lg.add_argument("--mode", choices=("closed", "open"), default="closed",
+                      help="closed-loop (one in flight per client) or "
+                           "open-loop Poisson")
+    p_lg.add_argument("--offered-tps", type=float, default=None,
+                      help="open-loop submission rate in txn/s")
+    p_lg.add_argument("--drain", action="store_true",
+                      help="send a drain frame once every txn committed")
+    p_lg.add_argument("--workload", choices=("ycsb", "tpcc"), default="ycsb")
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--theta", type=float, default=0.8,
+                      help="YCSB Zipfian skew")
+    p_lg.add_argument("--records", type=int, default=2_000_000,
+                      help="YCSB table size")
+    p_lg.add_argument("--warehouses", type=int, default=40)
+    p_lg.add_argument("--cross-pct", type=float, default=0.25)
+    p_lg.add_argument("--no-skew", action="store_true",
+                      help="disable the runtime-skew extension")
+    p_lg.add_argument("--io", type=int, default=0, metavar="L_IO",
+                      help="enable the I/O-latency extension at this l_IO")
+    p_lg.set_defaults(func=cmd_loadgen)
 
     p_tune = sub.add_parser("tune", help="tune TsDEFER for a workload")
     _add_workload_args(p_tune)

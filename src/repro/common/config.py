@@ -311,6 +311,66 @@ class IoLatencyConfig:
         return replace(self, **kw)
 
 
+#: Epoch-buffer assignment strategies the serving subsystem accepts.
+SERVE_ASSIGNMENTS = ("round_robin", "least_loaded")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The live scheduling service (:mod:`repro.serve`).
+
+    An epoch closes when it reaches ``epoch_max_txns`` transactions or
+    ``epoch_max_ms`` wall milliseconds after its first admission,
+    whichever comes first.  ``queue_limit`` bounds the transactions
+    admitted but not yet responded to — beyond it, submits are rejected
+    with a retry-after hint (explicit backpressure).
+    """
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (tests / loopback drives).
+    port: int = 0
+    #: System spec executed per epoch (repro.bench.runner.SYSTEM_SPECS,
+    #: enforced "!" variants excluded — see TSKD.execute_plan).
+    system: str = "tskd-0"
+    epoch_max_txns: int = 256
+    epoch_max_ms: float = 50.0
+    queue_limit: int = 4_096
+    #: Suggested client wait before retrying a rejected submit.
+    retry_after_ms: float = 25.0
+    #: How the epoch's CC-executed buffers are dealt to threads:
+    #: "round_robin" (the engine default) or "least_loaded" (admission
+    #: balances buffers by estimated cost; repro.sim.stream).
+    assignment: str = "round_robin"
+    #: Scheduled-but-not-yet-executed epochs the pipeline may hold; 1
+    #: gives exactly one epoch of lookahead (schedule N+1 during
+    #: execute N), more deepens the pipeline without reordering it.
+    pipeline_depth: int = 1
+    #: Record each epoch's transaction ids in the drain artifact so a
+    #: batch run can replay the exact epoch composition.
+    record_epoch_tids: bool = False
+
+    def __post_init__(self):
+        if not 0 <= self.port <= 65_535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.epoch_max_txns <= 0:
+            raise ConfigError("epoch_max_txns must be positive")
+        if self.epoch_max_ms <= 0:
+            raise ConfigError("epoch_max_ms must be positive")
+        if self.queue_limit <= 0:
+            raise ConfigError("queue_limit must be positive")
+        if self.retry_after_ms < 0:
+            raise ConfigError("retry_after_ms must be >= 0")
+        if self.assignment not in SERVE_ASSIGNMENTS:
+            raise ConfigError(
+                f"unknown assignment {self.assignment!r}; "
+                f"choose from {SERVE_ASSIGNMENTS}")
+        if self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
+
+    def with_(self, **kw) -> "ServeConfig":
+        return replace(self, **kw)
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Top-level bundle of everything one experiment run needs."""

@@ -202,6 +202,36 @@ class TSKD:
             loads[i] += sum(cost.time(t) for t in group)
         return buffers
 
+    def execute_plan(self, engine, plan: ExecutionPlan, start_time: int = 0):
+        """Run a prepared plan's phases on ``engine``, back to back.
+
+        This is the execution half of the serving pipeline
+        (:mod:`repro.serve.pipeline`): the engine persists across calls —
+        database, committed versions, CC metadata, and the virtual clock
+        cursor all carry over — so successive epochs execute against one
+        continuously-evolving store exactly like successive bundles hit a
+        live system.  Returns the merged :class:`~repro.sim.engine.PhaseResult`
+        covering every phase of the plan.
+
+        Only the paper's evaluated ``queue_execution="cc"`` configuration
+        is supported here: enforced CC-free gating builds a second engine
+        with CC stripped (see :mod:`repro.bench.runner`), which cannot
+        share a persistent database epoch over epoch.
+        """
+        from ..sim.engine import merge_phase_results
+
+        if self.queue_execution != "cc":
+            raise ConfigError(
+                "execute_plan supports queue_execution='cc' only; enforced "
+                "gating needs the two-engine path in repro.bench.runner")
+        results = []
+        clock = start_time
+        for buffers in plan.phases:
+            result = engine.run([list(b) for b in buffers], start_time=clock)
+            clock = result.end_time
+            results.append(result)
+        return merge_phase_results(results)
+
     def make_filter(self, k: int, rng: Optional[Rng] = None) -> Optional[TsDefer]:
         """Instantiate the TsDEFER filter for a k-thread engine (or None)."""
         if not self.tsdefer_config.enabled:

@@ -18,12 +18,16 @@ inventory, and the artifact format.
 
 from .artifact import (
     SCHEMA_ID,
+    SERVE_SCHEMA_ID,
     ArtifactError,
     build_artifact,
+    build_serve_artifact,
     export_run,
+    export_serve,
     load_artifact,
     run_result_to_dict,
     validate_artifact,
+    validate_serve_artifact,
 )
 from .metrics import (
     LATENCY_BUCKETS_CYCLES,
@@ -36,6 +40,7 @@ from .metrics import (
 from .report import (
     render_artifact,
     render_histogram,
+    render_serve_artifact,
     render_timeline,
     render_trace_summary,
 )
@@ -62,18 +67,23 @@ __all__ = [
     "MetricsRegistry",
     "RETRY_BUCKETS",
     "SCHEMA_ID",
+    "SERVE_SCHEMA_ID",
     "TraceEvent",
     "Tracer",
     "build_artifact",
+    "build_serve_artifact",
     "export_run",
+    "export_serve",
     "load_artifact",
     "load_trace",
     "render_artifact",
     "render_histogram",
+    "render_serve_artifact",
     "render_timeline",
     "render_trace_summary",
     "run_result_to_dict",
     "span_sequence",
     "validate_artifact",
     "validate_events",
+    "validate_serve_artifact",
 ]

@@ -7,8 +7,14 @@ and an optional pointer to a JSONL span log.  CI validates artifacts
 with :func:`validate_artifact` — a dependency-free structural check (the
 container has no ``jsonschema``), strict about required keys and types.
 
-Schema identifier: ``repro.run/1``.  See docs/observability.md for the
-field-by-field description.
+Two schemas live here.  ``repro.run/1`` captures one batch run and may
+carry an optional ``open_system`` section (queueing-inclusive latency
+percentiles from an arrival-driven run).  ``repro.serve/1`` captures one
+serving session (:mod:`repro.serve`): server configuration, admission
+and commit totals, per-epoch pipeline spans, and the metrics registry.
+:func:`load_artifact` dispatches validation by the document's ``schema``
+field.  See docs/observability.md and docs/serving.md for field-by-field
+descriptions.
 """
 
 from __future__ import annotations
@@ -21,8 +27,11 @@ from ..common.errors import ReproError
 from ..common.stats import RunResult
 from .metrics import MetricsRegistry
 
-#: Current artifact schema identifier.
+#: Batch-run artifact schema identifier.
 SCHEMA_ID = "repro.run/1"
+
+#: Serving-session artifact schema identifier.
+SERVE_SCHEMA_ID = "repro.serve/1"
 
 #: Required keys of the ``run`` section, with the types a validator
 #: accepts (int is acceptable wherever float is).
@@ -44,6 +53,44 @@ _RUN_FIELDS: dict[str, tuple[type, ...]] = {
     "latency_p50": (int,),
     "latency_p95": (int,),
     "latency_p99": (int,),
+}
+
+#: Required keys of the optional ``open_system`` section.
+_OPEN_SYSTEM_FIELDS: dict[str, tuple[type, ...]] = {
+    "offered_tps": (int, float),
+    "completed_tps": (int, float),
+    "saturated": (bool,),
+    "last_arrival": (int,),
+    "backlog_drain_cycles": (int,),
+    "latency_p50": (int,),
+    "latency_p95": (int,),
+    "latency_p99": (int,),
+}
+
+#: Required keys of a serve artifact's ``summary`` section.
+_SERVE_SUMMARY_FIELDS: dict[str, tuple[type, ...]] = {
+    "submitted": (int,),
+    "admitted": (int,),
+    "rejected": (int,),
+    "committed": (int,),
+    "epochs": (int,),
+    "end_cycles": (int,),
+    "wall_s": (int, float),
+}
+
+#: Required keys of each entry in a serve artifact's ``epochs`` list.
+_EPOCH_FIELDS: dict[str, tuple[type, ...]] = {
+    "epoch": (int,),
+    "size": (int,),
+    "reason": (str,),
+    "sched_start": (int, float),
+    "sched_end": (int, float),
+    "exec_start": (int, float),
+    "exec_end": (int, float),
+    "start_cycles": (int,),
+    "end_cycles": (int,),
+    "committed": (int,),
+    "aborts": (int,),
 }
 
 
@@ -97,12 +144,18 @@ def build_artifact(
     config=None,
     trace_path: Optional[str] = None,
     workload: Optional[str] = None,
+    open_system: Optional[Mapping] = None,
 ) -> dict:
-    """Assemble the artifact document for one run."""
+    """Assemble the artifact document for one run.
+
+    ``open_system`` is the optional queueing-inclusive section produced
+    by :meth:`repro.sim.stream.OpenSystemResult.to_dict` when the run was
+    driven by a timed arrival stream.
+    """
     from .. import __version__
 
     registry = metrics if metrics is not None else result.metrics
-    return {
+    doc = {
         "schema": SCHEMA_ID,
         "generated_by": f"repro {__version__}",
         "workload": workload,
@@ -112,6 +165,9 @@ def build_artifact(
         "config": _config_to_dict(config),
         "trace_path": trace_path,
     }
+    if open_system is not None:
+        doc["open_system"] = dict(open_system)
+    return doc
 
 
 def export_run(
@@ -121,10 +177,12 @@ def export_run(
     config=None,
     trace_path: Optional[str] = None,
     workload: Optional[str] = None,
+    open_system: Optional[Mapping] = None,
 ) -> dict:
     """Build, validate, and write the artifact; returns the document."""
     doc = build_artifact(result, metrics=metrics, config=config,
-                         trace_path=trace_path, workload=workload)
+                         trace_path=trace_path, workload=workload,
+                         open_system=open_system)
     validate_artifact(doc)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -132,11 +190,55 @@ def export_run(
     return doc
 
 
+def build_serve_artifact(
+    server_info: Mapping,
+    summary: Mapping,
+    epochs: list,
+    metrics: Optional[MetricsRegistry] = None,
+    config=None,
+) -> dict:
+    """Assemble the ``repro.serve/1`` document for one serving session."""
+    from .. import __version__
+
+    return {
+        "schema": SERVE_SCHEMA_ID,
+        "generated_by": f"repro {__version__}",
+        "server": dict(server_info),
+        "summary": dict(summary),
+        "epochs": list(epochs),
+        "metrics": (metrics.to_dict() if metrics is not None
+                    else MetricsRegistry().to_dict()),
+        "config": _config_to_dict(config),
+    }
+
+
+def export_serve(
+    path,
+    server_info: Mapping,
+    summary: Mapping,
+    epochs: list,
+    metrics: Optional[MetricsRegistry] = None,
+    config=None,
+) -> dict:
+    """Build, validate, and write a serve artifact; returns the document."""
+    doc = build_serve_artifact(server_info, summary, epochs,
+                               metrics=metrics, config=config)
+    validate_serve_artifact(doc)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
 def load_artifact(path) -> dict:
-    """Read and validate a saved artifact."""
+    """Read a saved artifact and validate it against its declared schema."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    validate_artifact(doc)
+    schema = doc.get("schema") if isinstance(doc, Mapping) else None
+    if schema == SERVE_SCHEMA_ID:
+        validate_serve_artifact(doc)
+    else:
+        validate_artifact(doc)
     return doc
 
 
@@ -170,6 +272,71 @@ def validate_artifact(doc: Mapping) -> None:
     if not all(isinstance(b, int) and not isinstance(b, bool) for b in busy):
         raise ArtifactError("thread_busy_cycles entries must be integers")
 
+    _validate_metrics(doc)
+    open_system = doc.get("open_system")
+    if open_system is not None:
+        _validate_section(open_system, _OPEN_SYSTEM_FIELDS, "open_system",
+                          allow_bool=("saturated",))
+    trace_path = doc.get("trace_path")
+    if trace_path is not None and not isinstance(trace_path, str):
+        raise ArtifactError("trace_path must be a string or null")
+
+
+def validate_serve_artifact(doc: Mapping) -> None:
+    """Structural check of a ``repro.serve/1`` document."""
+    if not isinstance(doc, Mapping):
+        raise ArtifactError(f"artifact must be an object, got {type(doc)!r}")
+    if doc.get("schema") != SERVE_SCHEMA_ID:
+        raise ArtifactError(
+            f"unknown schema {doc.get('schema')!r}; expected {SERVE_SCHEMA_ID!r}"
+        )
+    server = doc.get("server")
+    if not isinstance(server, Mapping):
+        raise ArtifactError("artifact is missing its 'server' section")
+    for key in ("system", "epoch_max_txns", "epoch_max_ms", "queue_limit"):
+        if key not in server:
+            raise ArtifactError(f"server section is missing {key!r}")
+    summary = doc.get("summary")
+    if not isinstance(summary, Mapping):
+        raise ArtifactError("artifact is missing its 'summary' section")
+    _validate_section(summary, _SERVE_SUMMARY_FIELDS, "summary")
+    if summary["admitted"] > summary["submitted"]:
+        raise ArtifactError("summary.admitted exceeds summary.submitted")
+    epochs = doc.get("epochs")
+    if not isinstance(epochs, list):
+        raise ArtifactError("artifact is missing its 'epochs' list")
+    for i, epoch in enumerate(epochs):
+        if not isinstance(epoch, Mapping):
+            raise ArtifactError(f"epochs[{i}] must be an object")
+        _validate_section(epoch, _EPOCH_FIELDS, f"epochs[{i}]")
+    if sum(e["committed"] for e in epochs) != summary["committed"]:
+        raise ArtifactError(
+            "per-epoch committed counts do not add up to summary.committed"
+        )
+    _validate_metrics(doc)
+
+
+def _validate_section(
+    section: Mapping,
+    fields: Mapping[str, tuple[type, ...]],
+    where: str,
+    allow_bool: tuple[str, ...] = (),
+) -> None:
+    for key, types in fields.items():
+        if key not in section:
+            raise ArtifactError(f"{where} is missing {key!r}")
+        value = section[key]
+        # bool is an int subclass; reject it where a number is expected.
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and key not in allow_bool
+        ):
+            raise ArtifactError(
+                f"{where}.{key} has type {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+
+
+def _validate_metrics(doc: Mapping) -> None:
     metrics = doc.get("metrics")
     if not isinstance(metrics, Mapping):
         raise ArtifactError("artifact is missing its 'metrics' section")
@@ -189,6 +356,3 @@ def validate_artifact(doc: Mapping) -> None:
                 f"histogram {name!r}: counts sum to {sum(hist['counts'])}, "
                 f"declared count is {hist['count']}"
             )
-    trace_path = doc.get("trace_path")
-    if trace_path is not None and not isinstance(trace_path, str):
-        raise ArtifactError("trace_path must be a string or null")

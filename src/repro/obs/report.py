@@ -168,6 +168,19 @@ def render_artifact(doc: dict) -> str:
         for i, b in enumerate(busy):
             bar = "#" * (round(b / peak * 30) if peak else 0)
             lines.append(f"  thr{i:<3d} {b:>14,} {bar}")
+    osys = doc.get("open_system")
+    if osys is not None:
+        lines.append(
+            f"open system: offered {osys['offered_tps']:,.0f} txn/s  "
+            f"completed {osys['completed_tps']:,.0f} txn/s  "
+            + ("SATURATED" if osys["saturated"] else "stable")
+        )
+        lines.append(
+            f"  arrival-to-completion p50/p95/p99 = "
+            f"{osys['latency_p50']:,}/{osys['latency_p95']:,}/"
+            f"{osys['latency_p99']:,} cy   backlog drain "
+            f"{osys['backlog_drain_cycles']:,} cy"
+        )
     metrics = doc.get("metrics", {})
     counters = metrics.get("counters", {})
     gauges = metrics.get("gauges", {})
@@ -181,4 +194,56 @@ def render_artifact(doc: dict) -> str:
         lines.append(render_histogram(name, hist))
     if doc.get("trace_path"):
         lines.append(f"span log: {doc['trace_path']}")
+    return "\n".join(lines)
+
+
+def render_serve_artifact(doc: dict) -> str:
+    """Summary tables for one validated ``repro.serve/1`` artifact."""
+    server = doc["server"]
+    summary = doc["summary"]
+    lines = [f"== serve: {server['system']}  ({doc.get('generated_by', '?')}, "
+             f"schema {doc.get('schema')})"]
+    lines.append(
+        f"epochs close at {server['epoch_max_txns']} txns or "
+        f"{server['epoch_max_ms']} ms   queue limit {server['queue_limit']}   "
+        f"assignment {server.get('assignment', 'round_robin')}"
+    )
+    lines.append(
+        f"submitted {summary['submitted']:,}   admitted "
+        f"{summary['admitted']:,}   rejected {summary['rejected']:,}   "
+        f"committed {summary['committed']:,}"
+    )
+    lat = summary.get("latency_ms", {})
+    lines.append(
+        f"{summary['epochs']} epochs over {summary['wall_s']:.3f} s wall, "
+        f"{summary['end_cycles']:,} virtual cycles   response p50/p95/p99 = "
+        f"{lat.get('p50', 0)}/{lat.get('p95', 0)}/{lat.get('p99', 0)} ms"
+    )
+    epochs = doc.get("epochs", [])
+    if epochs:
+        lines.append("epochs (wall ms relative to first admission):")
+        base = epochs[0]["opened_at"] if "opened_at" in epochs[0] else 0.0
+        shown = epochs if len(epochs) <= 20 else epochs[:20]
+        for e in shown:
+            def ms(key):
+                return (e[key] - base) * 1_000.0
+            lines.append(
+                f"  e{e['epoch']:<4d} {e['size']:>5d} txn  {e['reason']:<8s} "
+                f"sched[{ms('sched_start'):>9.1f},{ms('sched_end'):>9.1f}] "
+                f"exec[{ms('exec_start'):>9.1f},{ms('exec_end'):>9.1f}]  "
+                f"commits={e['committed']} aborts={e['aborts']}"
+            )
+        if len(epochs) > 20:
+            lines.append(f"  ... ({len(epochs) - 20} more epochs)")
+    metrics = doc.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if counters or gauges:
+        lines.append("metrics:")
+        for name, v in sorted(counters.items()):
+            lines.append(f"  {name:<34s} {v:,}")
+        for name, v in sorted(gauges.items()):
+            lines.append(f"  {name:<34s} {v:,.4g}")
+    for name, hist in sorted(metrics.get("histograms", {}).items()):
+        lines.append(render_histogram(name, hist))
     return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""repro.serve — the live scheduling service.
+
+A TCP front door over the TSKD pipeline: clients submit transactions
+over ``repro.wire/1`` (newline-delimited JSON), the server admits them
+through a bounded queue with explicit backpressure, closes *epochs* by
+size or deadline, and runs each epoch through partitioner → TSgen →
+TsDEFER → engine against one persistent store.  Scheduling of epoch
+N+1 overlaps execution of epoch N (see :mod:`repro.serve.pipeline`),
+and every run is replayable batch-side via
+:func:`~repro.serve.pipeline.replay_epochs`.
+
+Layout:
+
+* :mod:`repro.serve.protocol` — the wire codec (frames, txn encoding);
+* :mod:`repro.serve.batcher`  — size/deadline epoch closing;
+* :mod:`repro.serve.pipeline` — deterministic executor + async overlap;
+* :mod:`repro.serve.server`   — the asyncio TCP server and admission;
+* :mod:`repro.serve.loadgen`  — seeded open/closed-loop client driver.
+
+See docs/serving.md for the protocol and epoch lifecycle.
+"""
+
+from .batcher import CLOSE_DEADLINE, CLOSE_DRAIN, CLOSE_SIZE, Epoch, EpochBatcher, Submission
+from .loadgen import LoadgenReport, TxnRecord, poisson_schedule, run_loadgen
+from .pipeline import (
+    SERVABLE_SYSTEMS,
+    EpochExecutor,
+    EpochOutcome,
+    EpochPipeline,
+    EpochSpan,
+    TxnOutcome,
+    make_servable_system,
+    replay_epochs,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    STATUS_COMMITTED,
+    STATUS_REJECTED,
+    WIRE_SCHEMA,
+    WireError,
+    decode_frame,
+    encode_frame,
+    txn_from_wire,
+    txn_to_wire,
+)
+from .server import ServeServer
+
+__all__ = [
+    "CLOSE_DEADLINE",
+    "CLOSE_DRAIN",
+    "CLOSE_SIZE",
+    "Epoch",
+    "EpochBatcher",
+    "EpochExecutor",
+    "EpochOutcome",
+    "EpochPipeline",
+    "EpochSpan",
+    "LoadgenReport",
+    "MAX_FRAME_BYTES",
+    "SERVABLE_SYSTEMS",
+    "STATUS_COMMITTED",
+    "STATUS_REJECTED",
+    "ServeServer",
+    "Submission",
+    "TxnOutcome",
+    "TxnRecord",
+    "WIRE_SCHEMA",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "make_servable_system",
+    "poisson_schedule",
+    "replay_epochs",
+    "run_loadgen",
+    "txn_from_wire",
+    "txn_to_wire",
+]

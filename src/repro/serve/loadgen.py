@@ -1,0 +1,267 @@
+"""Load generator: drive a ``repro.serve`` server over real sockets.
+
+Two driving modes, both fully seeded:
+
+* **closed-loop** — each client keeps exactly one transaction in flight:
+  submit, wait for the response, submit the next.  Offered load adapts
+  to service rate; the classic "N clients" benchmark shape.
+* **open-loop** — submissions follow a Poisson schedule at an offered
+  rate regardless of responses (the open-system shape of Section 2.1,
+  over the wire).  Under overload the open loop keeps submitting, which
+  is exactly what exercises the server's backpressure path.
+
+Rejected submits are retried by the client after the server's
+``retry_after_ms`` hint — backpressure is a protocol feature here, so a
+loadgen run only counts a transaction done once it commits.
+
+Determinism: the transaction stream comes from the seeded workload
+generators and the Poisson schedule from :func:`poisson_schedule`; two
+runs with the same seed submit identical transactions on an identical
+schedule (wall-clock jitter changes *when* responses land, never what
+is sent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common.rng import Rng
+from ..common.stats import percentile
+from ..txn.transaction import Transaction
+from .protocol import (
+    SERVER_FRAMES,
+    STATUS_COMMITTED,
+    STATUS_REJECTED,
+    WireError,
+    decode_frame,
+    encode_frame,
+    txn_to_wire,
+)
+
+
+def poisson_schedule(n: int, offered_tps: float, seed: int) -> list[float]:
+    """Seconds-from-start send instants for ``n`` Poisson arrivals."""
+    if offered_tps <= 0:
+        raise ValueError(f"offered_tps must be positive, got {offered_tps}")
+    rng = Rng(seed)
+    mean_gap = 1.0 / offered_tps
+    clock = 0.0
+    schedule = []
+    for _ in range(n):
+        clock += -mean_gap * math.log(max(rng.random(), 1e-12))
+        schedule.append(clock)
+    return schedule
+
+
+@dataclass
+class TxnRecord:
+    """Client-side record of one transaction's trip."""
+
+    req_id: int
+    status: str
+    tid: Optional[int] = None
+    epoch: Optional[int] = None
+    attempts: Optional[int] = None
+    rejects: int = 0
+    #: First submit to committed response, wall seconds.
+    latency_s: float = 0.0
+
+
+@dataclass
+class LoadgenReport:
+    """What one loadgen run observed, client side."""
+
+    txns: int
+    committed: int
+    rejects: int
+    errors: int
+    wall_s: float
+    records: list[TxnRecord] = field(default_factory=list)
+    drained: Optional[dict] = None
+
+    @property
+    def latency_ms(self) -> dict:
+        lat = sorted(r.latency_s * 1_000.0
+                     for r in self.records if r.status == STATUS_COMMITTED)
+        return {
+            "p50": round(float(percentile(lat, 0.50)), 3),
+            "p95": round(float(percentile(lat, 0.95)), 3),
+            "p99": round(float(percentile(lat, 0.99)), 3),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "txns": self.txns,
+            "committed": self.committed,
+            "rejects": self.rejects,
+            "errors": self.errors,
+            "wall_s": round(self.wall_s, 3),
+            "latency_ms": self.latency_ms,
+        }
+
+
+class _Client:
+    """One connection: a reader task plus per-transaction submitters."""
+
+    def __init__(self, reader, writer, max_retries: int):
+        self.reader = reader
+        self.writer = writer
+        self.max_retries = max_retries
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._drained_fut: Optional[asyncio.Future] = None
+        self.errors = 0
+
+    def start(self) -> None:
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        while True:
+            try:
+                line = await self.reader.readline()
+            except (ConnectionError, asyncio.CancelledError):
+                break
+            if not line:
+                break
+            try:
+                frame = decode_frame(line, SERVER_FRAMES)
+            except WireError:
+                self.errors += 1
+                continue
+            if frame["type"] == "error":
+                self.errors += 1
+                continue
+            if frame["type"] == "drained":
+                if self._drained_fut is not None and not self._drained_fut.done():
+                    self._drained_fut.set_result(frame.get("summary"))
+                continue
+            if frame["type"] != "response":
+                continue
+            fut = self._pending.pop(frame.get("id"), None)
+            if fut is not None and not fut.done():
+                fut.set_result(frame)
+
+    async def submit(self, req_id: int, txn: Transaction) -> TxnRecord:
+        """Submit until committed, honouring retry-after backpressure."""
+        doc = txn_to_wire(txn)
+        record = TxnRecord(req_id=req_id, status="error")
+        started = time.monotonic()
+        for _ in range(self.max_retries + 1):
+            fut = asyncio.get_running_loop().create_future()
+            self._pending[req_id] = fut
+            self.writer.write(encode_frame(
+                {"type": "submit", "id": req_id, "txn": doc}
+            ))
+            await self.writer.drain()
+            frame = await fut
+            if frame["status"] == STATUS_COMMITTED:
+                record.status = STATUS_COMMITTED
+                record.tid = frame.get("tid")
+                record.epoch = frame.get("epoch")
+                record.attempts = frame.get("attempts")
+                record.latency_s = time.monotonic() - started
+                return record
+            if frame["status"] == STATUS_REJECTED:
+                record.rejects += 1
+                await asyncio.sleep(frame.get("retry_after_ms", 10.0) / 1_000.0)
+                continue
+            break
+        record.status = "error"
+        return record
+
+    async def drain(self) -> Optional[dict]:
+        self._drained_fut = asyncio.get_running_loop().create_future()
+        self.writer.write(encode_frame({"type": "drain"}))
+        await self.writer.drain()
+        return await self._drained_fut
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    transactions: Sequence[Transaction],
+    clients: int = 8,
+    mode: str = "closed",
+    offered_tps: Optional[float] = None,
+    seed: int = 0,
+    drain: bool = False,
+    max_retries: int = 1_000,
+) -> LoadgenReport:
+    """Drive ``transactions`` at a server and report what happened.
+
+    Transaction ``i`` always goes to client ``i % clients`` with request
+    id ``i`` — the deal is positional, so the submission plan is a pure
+    function of (transactions, clients, seed).
+    """
+    if clients <= 0:
+        raise ValueError(f"clients must be positive, got {clients}")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (offered_tps is None or offered_tps <= 0):
+        raise ValueError("open-loop mode needs a positive offered_tps")
+
+    conns: list[_Client] = []
+    for _ in range(clients):
+        reader, writer = await asyncio.open_connection(host, port)
+        client = _Client(reader, writer, max_retries)
+        client.start()
+        conns.append(client)
+
+    schedule = (poisson_schedule(len(transactions), offered_tps, seed)
+                if mode == "open" else None)
+    started = time.monotonic()
+
+    async def drive(ci: int) -> list[TxnRecord]:
+        client = conns[ci]
+        mine = [(i, t) for i, t in enumerate(transactions) if i % clients == ci]
+        records = []
+        if mode == "closed":
+            for i, txn in mine:
+                records.append(await client.submit(i, txn))
+        else:
+            tasks = []
+            for i, txn in mine:
+                delay = started + schedule[i] - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.create_task(client.submit(i, txn)))
+            records = list(await asyncio.gather(*tasks))
+        return records
+
+    try:
+        per_client = await asyncio.gather(*(drive(ci) for ci in range(clients)))
+        records = [r for recs in per_client for r in recs]
+        records.sort(key=lambda r: r.req_id)
+        drained = await conns[0].drain() if drain else None
+    finally:
+        for client in conns:
+            await client.close()
+
+    wall = time.monotonic() - started
+    return LoadgenReport(
+        txns=len(transactions),
+        committed=sum(1 for r in records if r.status == STATUS_COMMITTED),
+        rejects=sum(r.rejects for r in records),
+        errors=(sum(1 for r in records if r.status == "error")
+                + sum(c.errors for c in conns)),
+        wall_s=wall,
+        records=records,
+        drained=drained,
+    )

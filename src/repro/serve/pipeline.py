@@ -1,0 +1,403 @@
+"""Epoch scheduling/execution pipeline behind the serving front door.
+
+Two layers:
+
+* :class:`EpochExecutor` — synchronous and deterministic.  Owns the
+  long-lived state of a running service: one TSKD instance, one
+  persistent :class:`~repro.storage.database.Database`, one engine whose
+  virtual clock, version store, and TsDEFER filter carry across epochs,
+  and one history cost model fed by noise-free dry-run costs.  Given the
+  same epoch compositions it produces bit-identical schedules and final
+  database state no matter how the wall clock sliced the input — this is
+  what the batch-equivalence test in ``tests/serve`` leans on, via
+  :func:`replay_epochs`.
+
+* :class:`EpochPipeline` — the asyncio conveyor that overlaps stages:
+  while epoch *N* executes in one worker thread, epoch *N+1* is being
+  scheduled in another (the classic batch-scheduler trick of hiding
+  scheduling latency behind execution).  Determinism survives the
+  overlap because the two stages touch disjoint state: scheduling reads
+  and writes {cost model, TsPAR, per-epoch RNG}; execution reads and
+  writes {engine, database, TsDEFER, virtual-clock cursor}.  Epochs flow
+  through each stage strictly in epoch-id order, and the cost model is
+  fed dry-run estimates (not measured runtimes), so schedule(N+1) never
+  depends on execute(N).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..common.config import TSDEFER_DISABLED, ExperimentConfig, ServeConfig
+from ..common.rng import Rng
+from ..core.tskd import TSKD, ExecutionPlan
+from ..sim.engine import MulticoreEngine, PhaseResult
+from ..sim.stream import assign_least_loaded
+from ..storage.database import Database
+from ..sim.warmup import dry_run_cost
+from ..txn.cost import HistoryCostModel, OpCountCostModel
+from ..txn.transaction import Transaction
+from ..txn.workload import Workload
+from .batcher import Epoch, EpochBatcher
+
+#: Systems a serving executor accepts: TSKD instances with CC-backed
+#: queue execution, or plain dbcc as the no-scheduling baseline.  Bare
+#: partitioners and enforced ("!") variants need the two-engine batch
+#: path in repro.bench.runner and cannot share a persistent store.
+SERVABLE_SYSTEMS = ("dbcc", "tskd-s", "tskd-c", "tskd-h", "tskd-0", "tskd-cc")
+
+
+def make_servable_system(spec: str) -> TSKD:
+    """Resolve a system spec into a TSKD usable for continuous serving."""
+    name = spec.lower()
+    if name == "dbcc":
+        # Round-robin + CC, nothing else: modelled as a TSKD with both
+        # modules off so the serving path is uniform.
+        return TSKD(partitioner=None, use_tspar=False, tsdefer=TSDEFER_DISABLED)
+    from ..bench.runner import make_system
+
+    system = make_system(name)
+    if not isinstance(system, TSKD):
+        raise ValueError(
+            f"system {spec!r} is not servable; choose from {SERVABLE_SYSTEMS}"
+        )
+    if system.queue_execution != "cc":
+        raise ValueError(
+            "enforced queue execution cannot serve a persistent store; "
+            "drop the '!' suffix"
+        )
+    return system
+
+
+@dataclass
+class EpochOutcome:
+    """What execution of one epoch produced."""
+
+    epoch_id: int
+    #: tid -> attempts (1 = committed first try).
+    attempts: dict[int, int]
+    result: PhaseResult
+    start_cycles: int
+    end_cycles: int
+
+    @property
+    def committed(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def aborts(self) -> int:
+        return self.result.counters.aborts
+
+
+class _CommitLog:
+    """Progress hook that records per-transaction commit attempts."""
+
+    def __init__(self):
+        self._engine: Optional[MulticoreEngine] = None
+        self.attempts: dict[int, int] = {}
+
+    def bind(self, engine: MulticoreEngine) -> None:
+        self._engine = engine
+
+    def on_dispatch(self, thread_id: int, txn: Transaction, now: int) -> None:
+        pass
+
+    def on_commit(self, thread_id: int, txn: Transaction, now: int) -> None:
+        # ActiveTxn.attempt counts *aborted* attempts (0 = clean first
+        # try); the wire reports total tries, so +1.
+        active = self._engine.active_txn(thread_id)
+        self.attempts[txn.tid] = (active.attempt + 1) if active is not None else 1
+
+    def drain(self) -> dict[int, int]:
+        out, self.attempts = self.attempts, {}
+        return out
+
+
+class _HookFanout:
+    """Broadcast engine progress callbacks to several listeners."""
+
+    def __init__(self, hooks: Sequence):
+        self._hooks = tuple(hooks)
+
+    def on_dispatch(self, thread_id: int, txn: Transaction, now: int) -> None:
+        for h in self._hooks:
+            h.on_dispatch(thread_id, txn, now)
+
+    def on_commit(self, thread_id: int, txn: Transaction, now: int) -> None:
+        for h in self._hooks:
+            h.on_commit(thread_id, txn, now)
+
+
+class EpochExecutor:
+    """Deterministic schedule/execute core shared by server and replay."""
+
+    def __init__(self, serve: ServeConfig, exp: ExperimentConfig, db=None):
+        self.serve = serve
+        self.exp = exp
+        self.k = exp.sim.num_threads
+        self.tskd = make_servable_system(serve.system)
+        self.cost = HistoryCostModel(fallback=OpCountCostModel(exp.sim))
+        self.commit_log = _CommitLog()
+        #: The persistent store every epoch commits into.  Callers may
+        #: hand in a pre-populated database; otherwise tables are created
+        #: on first reference (rows then appear at first committed write,
+        #: the engine's usual lazy-ensure path).
+        self.db = db if db is not None else Database()
+        tsdefer = self.tskd.make_filter(self.k, rng=Rng(exp.seed).fork(3))
+        hooks = [self.commit_log] if tsdefer is None else [tsdefer, self.commit_log]
+        self.engine = MulticoreEngine(
+            exp.sim,
+            db=self.db,
+            dispatch_filter=tsdefer,
+            progress_hooks=_HookFanout(hooks),
+        )
+        self.commit_log.bind(self.engine)
+        if tsdefer is not None:
+            tsdefer.table.bind_buffers(self.engine.buffer_of)
+        self.tsdefer = tsdefer
+        #: Virtual-clock cursor: each epoch starts where the last ended.
+        self.clock = 0
+
+    # -- stage 1: scheduling (cost model + TsPAR + RNG only) ------------
+    def schedule(self, txns: Sequence[Transaction], epoch_id: int) -> ExecutionPlan:
+        """Prepare one epoch's execution plan; deterministic per epoch."""
+        workload = Workload(list(txns), name=f"epoch-{epoch_id}")
+        # Feed the history model the same noise-free dry-run estimates a
+        # warm-up pass would have produced, so replay sees identical
+        # costs regardless of when each epoch arrived.
+        for t in txns:
+            self.cost.record(t, dry_run_cost(t, self.exp.sim))
+        rng = Rng(self.exp.seed).fork(epoch_id)
+        plan = self.tskd.prepare(workload, self.k, self.cost, rng=rng)
+        if self.serve.assignment == "least_loaded":
+            self._rebalance(plan)
+        return plan
+
+    def _rebalance(self, plan: ExecutionPlan) -> None:
+        """Swap round-robin-dealt phases for least-loaded packing.
+
+        Only phases TSKD itself dealt round-robin are rebalanced: the
+        single phase of a no-TsPAR plan, or the residual phase of a
+        scheduled plan.  RC-free queues carry a precedence order and are
+        never touched.
+        """
+        target = None
+        if plan.schedule is None:
+            target = 0
+        elif plan.num_phases > 1:
+            target = 1
+        if target is None:
+            return
+        txns = [t for buf in plan.phases[target] for t in buf]
+        plan.phases[target] = assign_least_loaded(
+            txns, self.k, load=self.cost.time
+        )
+
+    # -- stage 2: execution (engine + database + TsDEFER only) -----------
+    def execute(self, plan: ExecutionPlan, epoch_id: int) -> EpochOutcome:
+        """Run a prepared epoch against the persistent store."""
+        # Table creation is an execute-stage mutation (db is this stage's
+        # state); ordered tables throughout so range ops always work.
+        for phase in plan.phases:
+            for buf in phase:
+                for txn in buf:
+                    for op in txn.ops:
+                        if op.table not in self.db:
+                            self.db.create_table(op.table, ordered=True)
+        start = self.clock
+        result = self.tskd.execute_plan(self.engine, plan, start_time=start)
+        self.clock = result.end_time
+        return EpochOutcome(
+            epoch_id=epoch_id,
+            attempts=self.commit_log.drain(),
+            result=result,
+            start_cycles=start,
+            end_cycles=result.end_time,
+        )
+
+    # -- inspection -------------------------------------------------------
+    def database_state(self) -> dict:
+        """Flat ``(table, key) -> (value, version, last_writer)`` map."""
+        state = {}
+        for table in self.engine.db.tables():
+            for key in table.keys():
+                record = table.get(key)
+                state[(table.name, key)] = (
+                    record.value, record.version, record.last_writer
+                )
+        return state
+
+
+def replay_epochs(
+    serve: ServeConfig,
+    exp: ExperimentConfig,
+    epochs: Sequence[Sequence[Transaction]],
+) -> tuple[EpochExecutor, list[EpochOutcome]]:
+    """Run epoch compositions through a fresh executor, batch style.
+
+    This is the reference run for serve-vs-batch equivalence: a server
+    that closed the same epochs must report the same commits and leave an
+    identical database behind.
+    """
+    executor = EpochExecutor(serve, exp)
+    outcomes = []
+    for epoch_id, txns in enumerate(epochs):
+        plan = executor.schedule(txns, epoch_id)
+        outcomes.append(executor.execute(plan, epoch_id))
+    return executor, outcomes
+
+
+@dataclass
+class EpochSpan:
+    """Wall-clock trace of one epoch's trip through the pipeline."""
+
+    epoch_id: int
+    size: int
+    reason: str
+    opened_at: float
+    closed_at: float
+    sched_start: float
+    sched_end: float
+    exec_start: float
+    exec_end: float
+    start_cycles: int
+    end_cycles: int
+    committed: int
+    aborts: int
+    tids: Optional[list[int]] = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "epoch": self.epoch_id,
+            "size": self.size,
+            "reason": self.reason,
+            "opened_at": round(self.opened_at, 6),
+            "closed_at": round(self.closed_at, 6),
+            "sched_start": round(self.sched_start, 6),
+            "sched_end": round(self.sched_end, 6),
+            "exec_start": round(self.exec_start, 6),
+            "exec_end": round(self.exec_end, 6),
+            "start_cycles": self.start_cycles,
+            "end_cycles": self.end_cycles,
+            "committed": self.committed,
+            "aborts": self.aborts,
+        }
+        if self.tids is not None:
+            doc["tids"] = self.tids
+        return doc
+
+
+@dataclass
+class TxnOutcome:
+    """Per-transaction result handed back to the submitting connection."""
+
+    tid: int
+    epoch_id: int
+    attempts: int
+    queue_s: float
+    schedule_s: float
+    execute_s: float
+
+
+class EpochPipeline:
+    """Two-stage async conveyor: schedule(N+1) overlaps execute(N)."""
+
+    def __init__(
+        self,
+        executor: EpochExecutor,
+        batcher: EpochBatcher,
+        pipeline_depth: int = 1,
+        on_epoch: Optional[Callable[[Epoch, EpochOutcome, EpochSpan], None]] = None,
+        record_tids: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        self.executor = executor
+        self.batcher = batcher
+        self.on_epoch = on_epoch
+        self.record_tids = record_tids
+        self._clock = clock
+        self._staged: asyncio.Queue = asyncio.Queue(maxsize=pipeline_depth)
+        self._sched_pool = ThreadPoolExecutor(1, thread_name_prefix="serve-sched")
+        self._exec_pool = ThreadPoolExecutor(1, thread_name_prefix="serve-exec")
+        self.spans: list[EpochSpan] = []
+        #: Epochs admitted to a stage but not yet finished executing.
+        self.in_flight = 0
+
+    async def run(self) -> None:
+        """Consume the batcher until shutdown; returns once drained."""
+        try:
+            await asyncio.gather(self._schedule_loop(), self._execute_loop())
+        finally:
+            self._sched_pool.shutdown(wait=False)
+            self._exec_pool.shutdown(wait=False)
+
+    async def _schedule_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            epoch = await self.batcher.next_epoch()
+            if epoch is None:
+                await self._staged.put(None)
+                return
+            self.in_flight += 1
+            epoch.sched_start = self._clock()
+            plan = await loop.run_in_executor(
+                self._sched_pool,
+                self.executor.schedule,
+                epoch.transactions(),
+                epoch.epoch_id,
+            )
+            epoch.sched_end = self._clock()
+            await self._staged.put((epoch, plan))
+
+    async def _execute_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._staged.get()
+            if item is None:
+                return
+            epoch, plan = item
+            epoch.exec_start = self._clock()
+            outcome = await loop.run_in_executor(
+                self._exec_pool, self.executor.execute, plan, epoch.epoch_id
+            )
+            epoch.exec_end = self._clock()
+            self.in_flight -= 1
+            span = EpochSpan(
+                epoch_id=epoch.epoch_id,
+                size=epoch.size,
+                reason=epoch.reason,
+                opened_at=epoch.opened_at,
+                closed_at=epoch.closed_at,
+                sched_start=epoch.sched_start,
+                sched_end=epoch.sched_end,
+                exec_start=epoch.exec_start,
+                exec_end=epoch.exec_end,
+                start_cycles=outcome.start_cycles,
+                end_cycles=outcome.end_cycles,
+                committed=outcome.committed,
+                aborts=outcome.aborts,
+                tids=[s.tid for s in epoch.subs] if self.record_tids else None,
+            )
+            self.spans.append(span)
+            self._resolve(epoch, outcome)
+            if self.on_epoch is not None:
+                self.on_epoch(epoch, outcome, span)
+
+    def _resolve(self, epoch: Epoch, outcome: EpochOutcome) -> None:
+        for sub in epoch.subs:
+            if sub.future is None or sub.future.done():
+                continue
+            sub.future.set_result(TxnOutcome(
+                tid=sub.tid,
+                epoch_id=epoch.epoch_id,
+                attempts=outcome.attempts.get(sub.tid, 1),
+                queue_s=epoch.sched_start - sub.submitted_at,
+                schedule_s=epoch.sched_end - epoch.sched_start,
+                execute_s=epoch.exec_end - epoch.exec_start,
+            ))

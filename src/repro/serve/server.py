@@ -1,0 +1,363 @@
+"""The serving front door: asyncio TCP server speaking ``repro.wire/1``.
+
+One server owns one :class:`~repro.serve.pipeline.EpochExecutor` (and
+therefore one persistent database) and an :class:`EpochPipeline` that
+overlaps scheduling with execution.  Connections are cheap: each one is
+a reader loop that decodes frames, admits transactions into the shared
+batcher, and writes responses as epoch outcomes resolve.
+
+Admission control is a single bounded count: transactions admitted but
+not yet responded to.  At ``queue_limit`` the server answers submits
+with ``status="rejected"`` and a ``retry_after_ms`` hint instead of
+queueing unboundedly — the client owns the retry, so an overloaded
+server degrades into explicit backpressure rather than latency collapse.
+
+A ``drain`` frame (or SIGINT on the CLI path) closes the partial epoch,
+waits for every in-flight epoch to finish, writes a ``repro.serve/1``
+artifact, and answers ``drained`` with the session summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from ..common.config import ExperimentConfig, ServeConfig
+from ..common.stats import percentile
+from ..obs.artifact import build_serve_artifact, export_serve
+from ..obs.metrics import MetricsRegistry
+from .batcher import EpochBatcher, Submission
+from .pipeline import EpochExecutor, EpochPipeline, TxnOutcome
+from .protocol import (
+    CLIENT_FRAMES,
+    MAX_FRAME_BYTES,
+    STATUS_COMMITTED,
+    STATUS_REJECTED,
+    WireError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    response_frame,
+    txn_from_wire,
+)
+
+#: Wall-ms histogram buckets for epoch and response latencies.
+SERVE_MS_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                    500.0, 1_000.0, 2_000.0, 5_000.0)
+
+#: Epoch-size histogram buckets.
+EPOCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048)
+
+
+class ServeServer:
+    """A live scheduling service over one persistent simulated store."""
+
+    def __init__(
+        self,
+        serve: ServeConfig,
+        exp: ExperimentConfig,
+        export_path: Optional[str] = None,
+        exit_on_drain: bool = False,
+    ):
+        self.serve = serve
+        self.exp = exp
+        self.export_path = export_path
+        #: When set, the server closes its listener after answering the
+        #: first drain frame (the CI smoke path: loadgen --drain ends
+        #: the whole session).
+        self.exit_on_drain = exit_on_drain
+
+        self.executor = EpochExecutor(serve, exp)
+        self.batcher = EpochBatcher(serve.epoch_max_txns, serve.epoch_max_ms)
+        self.metrics = MetricsRegistry()
+        self.pipeline = EpochPipeline(
+            self.executor,
+            self.batcher,
+            pipeline_depth=serve.pipeline_depth,
+            on_epoch=self._on_epoch,
+            record_tids=serve.record_epoch_tids,
+        )
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pipeline_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._started = 0.0
+        self._next_tid = 0
+        #: Admitted but not yet responded to — the backpressure bound.
+        self._pending = 0
+        self._submitted = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._committed = 0
+        self._response_ms: list[float] = []
+        self._drained = asyncio.Event()
+        self._draining = False
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the actual ephemeral one)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._started = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.serve.host,
+            port=self.serve.port,
+            limit=MAX_FRAME_BYTES + 1_024,
+        )
+        self._pipeline_task = asyncio.create_task(self.pipeline.run())
+
+    async def serve_forever(self) -> None:
+        """Run until the listener is closed (drain with exit_on_drain)."""
+        async with self._server:
+            try:
+                await self._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+    async def stop(self) -> dict:
+        """Drain and shut down; returns the session summary."""
+        summary = await self.drain()
+        self._server.close()
+        await self._server.wait_closed()
+        await self.close_connections()
+        return summary
+
+    async def close_connections(self) -> None:
+        """Cancel reader loops still parked on idle connections."""
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def drain(self) -> dict:
+        """Flush the open epoch, finish in-flight work, write the artifact."""
+        if not self._drained.is_set():
+            if not self._draining:
+                self._draining = True
+                self.batcher.shutdown()
+                await self._pipeline_task
+                if self.export_path is not None:
+                    self._export(self.export_path)
+                self._drained.set()
+            else:
+                await self._drained.wait()
+        return self.summary()
+
+    # -- per-connection reader loop --------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        # Swallow cancellation at the task boundary: the streams machinery
+        # probes task.exception() in a plain callback, and a propagated
+        # CancelledError there is reported as a loop-teardown traceback.
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutdown interrupted a parked readline
+        finally:
+            self._conn_tasks.discard(task)
+
+    async def _connection_loop(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # oversized line or peer reset
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    doc = decode_frame(line, CLIENT_FRAMES)
+                except WireError as e:
+                    writer.write(encode_frame(error_frame(str(e))))
+                    await writer.drain()
+                    continue
+                kind = doc["type"]
+                if kind == "submit":
+                    self._handle_submit(doc, writer)
+                elif kind == "stats":
+                    writer.write(encode_frame(
+                        {"type": "stats", "data": self.stats()}
+                    ))
+                elif kind == "drain":
+                    summary = await self.drain()
+                    writer.write(encode_frame(
+                        {"type": "drained", "summary": summary}
+                    ))
+                    await writer.drain()
+                    if self.exit_on_drain:
+                        self._server.close()
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                pass  # peer vanished or the loop is shutting down
+
+    def _handle_submit(self, doc: dict, writer) -> None:
+        self._submitted += 1
+        self.metrics.counter(
+            "serve.submitted", "submit frames received"
+        ).inc()
+        req_id = doc["id"]
+        if self._draining or self._pending >= self.serve.queue_limit:
+            self._rejected += 1
+            self.metrics.counter(
+                "serve.rejected", "submits rejected by backpressure"
+            ).inc()
+            writer.write(encode_frame(response_frame(
+                req_id, STATUS_REJECTED,
+                retry_after_ms=self.serve.retry_after_ms,
+            )))
+            return
+        try:
+            txn = txn_from_wire(doc["txn"], tid=self._next_tid)
+        except WireError as e:
+            writer.write(encode_frame(error_frame(str(e))))
+            return
+        self._next_tid += 1
+        self._pending += 1
+        self._admitted += 1
+        self.metrics.counter("serve.admitted", "transactions admitted").inc()
+        self.metrics.gauge(
+            "serve.queue_depth", "admitted, not yet responded"
+        ).set(self._pending)
+        future = asyncio.get_running_loop().create_future()
+        sub = Submission(
+            tid=txn.tid,
+            req_id=req_id,
+            txn=txn,
+            submitted_at=time.monotonic(),
+            future=future,
+            conn=writer,
+        )
+        future.add_done_callback(
+            lambda fut, sub=sub: self._respond(sub, fut)
+        )
+        self.batcher.put(sub)
+
+    def _respond(self, sub: Submission, fut: asyncio.Future) -> None:
+        outcome: TxnOutcome = fut.result()
+        self._pending -= 1
+        self._committed += 1
+        self.metrics.counter(
+            "serve.committed", "transactions committed"
+        ).inc()
+        self.metrics.gauge("serve.queue_depth").set(self._pending)
+        total_s = time.monotonic() - sub.submitted_at
+        total_ms = total_s * 1_000.0
+        self._response_ms.append(total_ms)
+        self.metrics.histogram(
+            "serve.latency_ms", SERVE_MS_BUCKETS,
+            "submit-to-response wall latency",
+        ).observe(total_ms)
+        writer = sub.conn
+        if writer is None or writer.is_closing():
+            return
+        writer.write(encode_frame(response_frame(
+            sub.req_id,
+            STATUS_COMMITTED,
+            tid=outcome.tid,
+            epoch=outcome.epoch_id,
+            attempts=outcome.attempts,
+            latency_ms={
+                "queue": outcome.queue_s * 1_000.0,
+                "schedule": outcome.schedule_s * 1_000.0,
+                "execute": outcome.execute_s * 1_000.0,
+                "total": total_ms,
+            },
+        )))
+
+    # -- pipeline callback -------------------------------------------------
+    def _on_epoch(self, epoch, outcome, span) -> None:
+        self.metrics.counter("serve.epochs", "epochs executed").inc()
+        self.metrics.counter(
+            "serve.epoch_aborts", "CC aborts across all epochs"
+        ).inc(outcome.aborts)
+        self.metrics.counter(
+            f"serve.epochs_closed.{epoch.reason}",
+            "epochs by close reason",
+        ).inc()
+        self.metrics.histogram(
+            "serve.epoch_size", EPOCH_SIZE_BUCKETS,
+            "transactions per closed epoch",
+        ).observe(epoch.size)
+        self.metrics.histogram(
+            "serve.epoch_ms", SERVE_MS_BUCKETS,
+            "epoch wall time, first admission to execution end",
+        ).observe((span.exec_end - span.opened_at) * 1_000.0)
+        self.metrics.gauge(
+            "serve.inflight_epochs", "epochs inside the pipeline"
+        ).set(self.pipeline.in_flight)
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "submitted": self._submitted,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+            "committed": self._committed,
+            "pending": self._pending,
+            "epoch_open": self.batcher.pending,
+            "epochs_closed": self.batcher.epochs_closed,
+            "epochs_executed": len(self.pipeline.spans),
+            "end_cycles": self.executor.clock,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def summary(self) -> dict:
+        lat = sorted(self._response_ms)
+        return {
+            "submitted": self._submitted,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+            "committed": self._committed,
+            "epochs": len(self.pipeline.spans),
+            "end_cycles": self.executor.clock,
+            "wall_s": round(time.monotonic() - self._started, 3),
+            "latency_ms": {
+                "p50": round(float(percentile(lat, 0.50)), 3),
+                "p95": round(float(percentile(lat, 0.95)), 3),
+                "p99": round(float(percentile(lat, 0.99)), 3),
+            },
+        }
+
+    def server_info(self) -> dict:
+        return {
+            "system": self.serve.system,
+            "host": self.serve.host,
+            "port": self.port if self._server is not None else self.serve.port,
+            "epoch_max_txns": self.serve.epoch_max_txns,
+            "epoch_max_ms": self.serve.epoch_max_ms,
+            "queue_limit": self.serve.queue_limit,
+            "assignment": self.serve.assignment,
+            "pipeline_depth": self.serve.pipeline_depth,
+        }
+
+    def artifact(self) -> dict:
+        return build_serve_artifact(
+            self.server_info(),
+            self.summary(),
+            [span.to_dict() for span in self.pipeline.spans],
+            metrics=self.metrics,
+            config=self.exp,
+        )
+
+    def _export(self, path: str) -> dict:
+        return export_serve(
+            path,
+            self.server_info(),
+            self.summary(),
+            [span.to_dict() for span in self.pipeline.spans],
+            metrics=self.metrics,
+            config=self.exp,
+        )

@@ -17,18 +17,28 @@ from .history import (
     serialization_graph,
     snapshot_violations,
 )
-from .stream import OpenSystemResult, poisson_arrivals, run_open_system
+from .stream import (
+    ARRIVAL_ASSIGNMENTS,
+    OpenSystemResult,
+    assign_least_loaded,
+    pick_least_loaded,
+    poisson_arrivals,
+    run_open_system,
+)
 from .warmup import dry_run_cost, serial_makespan, warm_up_history
 
 __all__ = [
+    "ARRIVAL_ASSIGNMENTS",
     "MAX_RETRIES",
     "ActiveTxn",
+    "assign_least_loaded",
     "CommittedRecord",
     "DispatchFilter",
     "MulticoreEngine",
     "OpenSystemResult",
     "PhaseResult",
     "ProgressHooks",
+    "pick_least_loaded",
     "poisson_arrivals",
     "run_open_system",
     "assert_serializable",

@@ -153,6 +153,41 @@ class PhaseResult:
         return self.end_time - self.start_time
 
 
+def merge_phase_results(results: Sequence[PhaseResult]) -> PhaseResult:
+    """Fold consecutive phase results into one aggregate result.
+
+    Used wherever one logical unit of work spans several ``run`` calls on
+    the same engine — a TsPAR queue phase followed by its residual phase,
+    or a serving epoch executed against a persistent database
+    (:mod:`repro.serve.pipeline`).  Counters, latencies, and per-thread
+    busy cycles accumulate; the window spans first start to last end.
+    """
+    if not results:
+        raise SimulationError("merge_phase_results needs at least one result")
+    counters = Counters()
+    busy = [0] * len(results[0].thread_busy)
+    latencies: list[int] = []
+    retry_counts: list[int] = []
+    for r in results:
+        if len(r.thread_busy) != len(busy):
+            raise SimulationError(
+                f"cannot merge phases over {len(r.thread_busy)} and "
+                f"{len(busy)} threads")
+        counters.merge(r.counters)
+        latencies.extend(r.latencies)
+        retry_counts.extend(r.retry_counts)
+        for i, b in enumerate(r.thread_busy):
+            busy[i] += b
+    return PhaseResult(
+        start_time=results[0].start_time,
+        end_time=max(r.end_time for r in results),
+        counters=counters,
+        thread_busy=tuple(busy),
+        latencies=tuple(latencies),
+        retry_counts=tuple(retry_counts),
+    )
+
+
 class _Thread:
     __slots__ = ("id", "buffer", "phase", "active", "busy", "dispatch_began",
                  "pending_seq", "pending_at", "crash_pending")

@@ -13,13 +13,47 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..common.config import CYCLES_PER_SECOND
 from ..common.rng import Rng
 from ..common.stats import percentile
 from ..txn.transaction import Transaction
 from .engine import MulticoreEngine, PhaseResult
+
+#: Assignment strategies :func:`poisson_arrivals` understands.
+ARRIVAL_ASSIGNMENTS = ("round_robin", "random", "least_loaded")
+
+
+def pick_least_loaded(loads: Sequence[float]) -> int:
+    """Index of the smallest load, lowest index winning ties."""
+    return min(range(len(loads)), key=lambda i: (loads[i], i))
+
+
+def assign_least_loaded(
+    transactions: Sequence[Transaction],
+    num_threads: int,
+    load: Optional[Callable[[Transaction], float]] = None,
+) -> list[list[Transaction]]:
+    """Deal transactions to the thread with the least accumulated load.
+
+    ``load`` maps a transaction to its weight (operation count by
+    default, the only signal an admission path has before execution).
+    With uniform weights this degenerates to round-robin; with skewed
+    weights it keeps the heaviest buffers from stacking up on one
+    thread.  Used by the serving subsystem's admission path
+    (:mod:`repro.serve`) and by :func:`poisson_arrivals`.
+    """
+    if num_threads <= 0:
+        raise ValueError(f"num_threads must be positive, got {num_threads}")
+    weigh = load or (lambda t: t.num_ops)
+    buffers: list[list[Transaction]] = [[] for _ in range(num_threads)]
+    loads = [0.0] * num_threads
+    for txn in transactions:
+        i = pick_least_loaded(loads)
+        buffers[i].append(txn)
+        loads[i] += weigh(txn)
+    return buffers
 
 
 def poisson_arrivals(
@@ -33,21 +67,36 @@ def poisson_arrivals(
 
     Inter-arrival gaps are exponential with mean
     ``CYCLES_PER_SECOND / offered_tps``; assignment is round-robin (the
-    engine default) or uniformly random.
+    engine default), uniformly random, or least-loaded (each arrival
+    goes to the thread with the smallest total assigned work so far).
+    Returned cycles are guaranteed non-decreasing even after the float
+    clock is truncated to integer cycles.
     """
     if offered_tps <= 0:
         raise ValueError(f"offered_tps must be positive, got {offered_tps}")
+    if assignment not in ARRIVAL_ASSIGNMENTS:
+        raise ValueError(f"unknown assignment {assignment!r}; "
+                         f"choose from {ARRIVAL_ASSIGNMENTS}")
     rng = rng or Rng(0)
     mean_gap = CYCLES_PER_SECOND / offered_tps
     arrivals: list[tuple[int, int, Transaction]] = []
+    loads = [0.0] * num_threads
     clock = 0.0
+    when = 0
     for i, txn in enumerate(transactions):
         clock += -mean_gap * math.log(max(rng.random(), 1e-12))
+        # int() truncation is monotone, but clamp anyway so the arrival
+        # sequence the engine heap sees can never run backwards even if
+        # the float accumulation ever loses a sub-cycle increment.
+        when = max(when, int(clock))
         if assignment == "random":
             thread = rng.randint(0, num_threads - 1)
+        elif assignment == "least_loaded":
+            thread = pick_least_loaded(loads)
+            loads[thread] += txn.num_ops
         else:
             thread = i % num_threads
-        arrivals.append((int(clock), thread, txn))
+        arrivals.append((when, thread, txn))
     return arrivals
 
 
@@ -88,6 +137,26 @@ class OpenSystemResult:
 
     def latency_percentile(self, q: float) -> int:
         return percentile(sorted(self.phase.latencies), q)
+
+    def to_dict(self) -> dict:
+        """The ``open_system`` artifact section (see repro.obs.artifact).
+
+        Latency percentiles here *include queueing delay* — they are
+        measured from the arrival instant, not from dispatch — which is
+        what distinguishes them from the service-latency percentiles of
+        the ``run`` section.
+        """
+        lat = sorted(self.phase.latencies)
+        return {
+            "offered_tps": float(self.offered_tps),
+            "completed_tps": self.completed_tps,
+            "saturated": self.saturated,
+            "last_arrival": self.last_arrival,
+            "backlog_drain_cycles": self.backlog_drain_cycles,
+            "latency_p50": percentile(lat, 0.50),
+            "latency_p95": percentile(lat, 0.95),
+            "latency_p99": percentile(lat, 0.99),
+        }
 
 
 def run_open_system(

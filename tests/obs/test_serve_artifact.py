@@ -1,0 +1,156 @@
+"""open_system sections of run artifacts and the repro.serve/1 schema."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import run_system
+from repro.obs.artifact import (
+    SCHEMA_ID,
+    SERVE_SCHEMA_ID,
+    ArtifactError,
+    build_artifact,
+    build_serve_artifact,
+    export_run,
+    export_serve,
+    load_artifact,
+    validate_artifact,
+    validate_serve_artifact,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_artifact, render_serve_artifact
+
+OPEN_SYSTEM = {
+    "offered_tps": 250_000.0,
+    "completed_tps": 231_000.5,
+    "saturated": False,
+    "last_arrival": 900_000,
+    "backlog_drain_cycles": 4_200,
+    "latency_p50": 8_000,
+    "latency_p95": 21_000,
+    "latency_p99": 48_000,
+}
+
+
+@pytest.fixture
+def run(small_ycsb, small_exp):
+    return run_system(small_ycsb, "dbcc", small_exp)
+
+
+def serve_doc():
+    return build_serve_artifact(
+        server_info={"system": "tskd-0", "epoch_max_txns": 32,
+                     "epoch_max_ms": 50.0, "queue_limit": 4096},
+        summary={"submitted": 12, "admitted": 10, "rejected": 2,
+                 "committed": 10, "epochs": 2, "end_cycles": 90_000,
+                 "wall_s": 0.25},
+        epochs=[
+            {"epoch": 0, "size": 6, "reason": "size", "sched_start": 0.0,
+             "sched_end": 0.01, "exec_start": 0.01, "exec_end": 0.04,
+             "start_cycles": 0, "end_cycles": 50_000, "committed": 6,
+             "aborts": 1},
+            {"epoch": 1, "size": 4, "reason": "drain", "sched_start": 0.02,
+             "sched_end": 0.03, "exec_start": 0.04, "exec_end": 0.06,
+             "start_cycles": 50_000, "end_cycles": 90_000, "committed": 4,
+             "aborts": 0},
+        ],
+    )
+
+
+class TestOpenSystemSection:
+    def test_absent_by_default(self, run):
+        doc = build_artifact(run)
+        assert "open_system" not in doc
+        validate_artifact(doc)
+
+    def test_accepted_when_complete(self, run):
+        doc = build_artifact(run, open_system=OPEN_SYSTEM)
+        validate_artifact(doc)
+        assert doc["open_system"]["saturated"] is False
+
+    def test_rejects_missing_field(self, run):
+        partial = {k: v for k, v in OPEN_SYSTEM.items() if k != "saturated"}
+        doc = build_artifact(run, open_system=partial)
+        with pytest.raises(ArtifactError, match="saturated"):
+            validate_artifact(doc)
+
+    def test_rejects_wrong_type(self, run):
+        doc = build_artifact(
+            run, open_system={**OPEN_SYSTEM, "latency_p99": "slow"})
+        with pytest.raises(ArtifactError, match="latency_p99"):
+            validate_artifact(doc)
+
+    def test_export_load_roundtrip(self, tmp_path, run):
+        path = tmp_path / "open.json"
+        written = export_run(path, run, open_system=OPEN_SYSTEM)
+        assert load_artifact(path) == written
+
+    def test_rendered_in_report(self, run):
+        doc = build_artifact(run, open_system=OPEN_SYSTEM)
+        text = render_artifact(doc)
+        assert "open system" in text.lower()
+        assert "250" in text  # offered rate shows up
+
+
+class TestServeArtifact:
+    def test_builds_and_validates(self):
+        doc = serve_doc()
+        assert doc["schema"] == SERVE_SCHEMA_ID
+        validate_serve_artifact(doc)
+
+    def test_rejects_run_schema(self):
+        with pytest.raises(ArtifactError, match="schema"):
+            validate_serve_artifact({**serve_doc(), "schema": SCHEMA_ID})
+
+    def test_rejects_missing_server_key(self):
+        doc = serve_doc()
+        doc["server"].pop("queue_limit")
+        with pytest.raises(ArtifactError, match="queue_limit"):
+            validate_serve_artifact(doc)
+
+    def test_rejects_admitted_over_submitted(self):
+        doc = serve_doc()
+        doc["summary"]["admitted"] = doc["summary"]["submitted"] + 1
+        with pytest.raises(ArtifactError, match="admitted"):
+            validate_serve_artifact(doc)
+
+    def test_rejects_epoch_commit_mismatch(self):
+        doc = serve_doc()
+        doc["epochs"][0]["committed"] += 1
+        with pytest.raises(ArtifactError, match="committed"):
+            validate_serve_artifact(doc)
+
+    def test_rejects_malformed_epoch_entry(self):
+        doc = serve_doc()
+        doc["epochs"][1].pop("reason")
+        with pytest.raises(ArtifactError, match=r"epochs\[1\]"):
+            validate_serve_artifact(doc)
+
+    def test_export_load_dispatches_by_schema(self, tmp_path):
+        path = tmp_path / "serve.json"
+        written = export_serve(
+            path,
+            server_info=serve_doc()["server"],
+            summary=serve_doc()["summary"],
+            epochs=serve_doc()["epochs"],
+            metrics=MetricsRegistry(),
+        )
+        loaded = load_artifact(path)  # dispatches to the serve validator
+        assert loaded == written
+        assert loaded["schema"] == SERVE_SCHEMA_ID
+
+    def test_load_rejects_corrupted_serve_doc(self, tmp_path):
+        path = tmp_path / "serve.json"
+        doc = export_serve(path, server_info=serve_doc()["server"],
+                           summary=serve_doc()["summary"],
+                           epochs=serve_doc()["epochs"])
+        doc["summary"].pop("wall_s")
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactError, match="wall_s"):
+            load_artifact(path)
+
+    def test_render_serve_report(self):
+        text = render_serve_artifact(serve_doc())
+        assert "tskd-0" in text
+        assert "drain" in text
+        assert "epoch" in text.lower()

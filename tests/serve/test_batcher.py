@@ -1,0 +1,121 @@
+"""Epoch batching: size/deadline closing, flush, shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    CLOSE_DEADLINE,
+    CLOSE_DRAIN,
+    CLOSE_SIZE,
+    EpochBatcher,
+    Submission,
+)
+from repro.txn import make_transaction, read
+
+
+def sub(i):
+    return Submission(tid=i, req_id=i,
+                      txn=make_transaction(i, [read("x", i)]),
+                      submitted_at=0.0)
+
+
+class TestSizeClose:
+    def test_closes_at_max_txns(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=3, max_ms=10_000.0)
+            for i in range(7):
+                batcher.put(sub(i))
+            e0 = await batcher.next_epoch()
+            e1 = await batcher.next_epoch()
+            assert (e0.epoch_id, e0.size, e0.reason) == (0, 3, CLOSE_SIZE)
+            assert (e1.epoch_id, e1.size, e1.reason) == (1, 3, CLOSE_SIZE)
+            assert batcher.pending == 1  # the seventh waits for more
+        asyncio.run(run())
+
+    def test_epoch_ids_are_sequential(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=1, max_ms=10_000.0)
+            for i in range(5):
+                batcher.put(sub(i))
+            ids = [(await batcher.next_epoch()).epoch_id for _ in range(5)]
+            assert ids == [0, 1, 2, 3, 4]
+        asyncio.run(run())
+
+
+class TestDeadlineClose:
+    def test_partial_epoch_closes_on_deadline(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=100, max_ms=20.0)
+            batcher.put(sub(0))
+            batcher.put(sub(1))
+            epoch = await asyncio.wait_for(batcher.next_epoch(), timeout=5.0)
+            assert epoch.size == 2
+            assert epoch.reason == CLOSE_DEADLINE
+        asyncio.run(run())
+
+    def test_stale_timer_does_not_close_next_epoch(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=2, max_ms=30.0)
+            batcher.put(sub(0))
+            batcher.put(sub(1))  # closes epoch 0 by size; timer now stale
+            epoch = await batcher.next_epoch()
+            assert epoch.reason == CLOSE_SIZE
+            batcher.put(sub(2))  # opens epoch 1
+            # Sleep past epoch 0's (cancelled/stale) deadline but short of
+            # epoch 1's own: epoch 1 must still be open.
+            await asyncio.sleep(0.01)
+            assert batcher.pending == 1
+            epoch1 = await asyncio.wait_for(batcher.next_epoch(), timeout=5.0)
+            assert epoch1.reason == CLOSE_DEADLINE
+            assert epoch1.size == 1
+        asyncio.run(run())
+
+    def test_idle_batcher_closes_nothing(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=4, max_ms=5.0)
+            await asyncio.sleep(0.03)  # several deadline spans, no input
+            assert batcher.epochs_closed == 0
+        asyncio.run(run())
+
+
+class TestDrain:
+    def test_flush_closes_partial_epoch(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=100, max_ms=10_000.0)
+            batcher.put(sub(0))
+            batcher.flush()
+            epoch = await batcher.next_epoch()
+            assert epoch.size == 1
+            assert epoch.reason == CLOSE_DRAIN
+        asyncio.run(run())
+
+    def test_shutdown_flushes_then_signals_end(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=100, max_ms=10_000.0)
+            batcher.put(sub(0))
+            batcher.shutdown()
+            assert (await batcher.next_epoch()).size == 1
+            assert await batcher.next_epoch() is None
+            assert await batcher.next_epoch() is None  # sentinel persists
+            with pytest.raises(RuntimeError):
+                batcher.put(sub(1))
+        asyncio.run(run())
+
+    def test_close_reasons_are_tallied(self):
+        async def run():
+            batcher = EpochBatcher(max_txns=2, max_ms=10_000.0)
+            for i in range(4):
+                batcher.put(sub(i))
+            batcher.put(sub(4))
+            batcher.flush()
+            assert batcher.closed_by_reason == {CLOSE_SIZE: 2, CLOSE_DRAIN: 1}
+        asyncio.run(run())
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            EpochBatcher(max_txns=0, max_ms=10.0)
+        with pytest.raises(ValueError):
+            EpochBatcher(max_txns=1, max_ms=0.0)

@@ -4,7 +4,13 @@ import pytest
 
 from repro.common import CYCLES_PER_SECOND, Rng, SimConfig
 from repro.common.errors import SimulationError
-from repro.sim import MulticoreEngine, poisson_arrivals, run_open_system
+from repro.sim import (
+    MulticoreEngine,
+    assign_least_loaded,
+    pick_least_loaded,
+    poisson_arrivals,
+    run_open_system,
+)
 from repro.txn import make_transaction, read, write
 
 SIM = SimConfig(num_threads=2, op_cost=1000, cc_op_overhead=0,
@@ -111,3 +117,66 @@ class TestRunOpenSystem:
         assert result.saturated
         # Queueing delay shows up in the tail.
         assert result.latency_percentile(0.99) > 10 * 10_000
+
+
+class TestLeastLoadedAssignment:
+    def test_pick_least_loaded_breaks_ties_low(self):
+        assert pick_least_loaded([3.0, 1.0, 1.0]) == 1
+        assert pick_least_loaded([0.0, 0.0]) == 0
+
+    def test_uniform_weights_degenerate_to_round_robin(self):
+        txns = [t(i) for i in range(8)]
+        buffers = assign_least_loaded(txns, 4)
+        assert [[x.tid for x in b] for b in buffers] == \
+               [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+    def test_skewed_weights_balance_load(self):
+        # One 20-op whale followed by 1-op minnows: least-loaded parks
+        # the whale alone while round-robin would keep stacking on it.
+        txns = [t(0, n_ops=20)] + [t(i, n_ops=1) for i in range(1, 20)]
+        buffers = assign_least_loaded(txns, 2)
+        loads = [sum(x.num_ops for x in b) for b in buffers]
+        assert max(loads) - min(loads) <= 2
+        assert len(buffers[0]) == 1  # whale isolated
+
+    def test_custom_load_function(self):
+        txns = [t(i) for i in range(6)]
+        cost = {i: float(i) for i in range(6)}
+        buffers = assign_least_loaded(txns, 2, load=lambda x: cost[x.tid])
+        loads = [sum(cost[x.tid] for x in b) for b in buffers]
+        assert abs(loads[0] - loads[1]) <= 5.0
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            assign_least_loaded([t(1)], 0)
+
+    def test_poisson_least_loaded_assignment(self):
+        txns = [t(i, n_ops=1 + (i % 7)) for i in range(100)]
+        arrivals = poisson_arrivals(txns, 100_000, 4, rng=Rng(7),
+                                    assignment="least_loaded")
+        loads = [0.0] * 4
+        for _, thread, txn in arrivals:
+            loads[thread] += txn.num_ops
+        assert max(loads) - min(loads) <= 7  # one txn's worth of slack
+
+    def test_poisson_rejects_unknown_assignment(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([t(1)], 1_000, 2, assignment="hottest_first")
+
+
+class TestOpenSystemDict:
+    def test_to_dict_has_artifact_fields(self):
+        txns = [t(i, key_base=10 * i) for i in range(100)]
+        engine = MulticoreEngine(SIM)
+        result = run_open_system(engine, txns, offered_tps=200_000,
+                                 rng=Rng(8), assignment="least_loaded")
+        doc = result.to_dict()
+        assert set(doc) == {
+            "offered_tps", "completed_tps", "saturated", "last_arrival",
+            "backlog_drain_cycles", "latency_p50", "latency_p95",
+            "latency_p99",
+        }
+        assert doc["offered_tps"] == 200_000.0
+        assert doc["completed_tps"] > 0
+        assert doc["latency_p50"] <= doc["latency_p95"] <= doc["latency_p99"]
+        assert doc["backlog_drain_cycles"] >= 0
