@@ -686,6 +686,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         scale = PAPER
     charts = _pop_flag(args, "--charts")
     want_summary = _pop_flag(args, "--summary")
+    profile = _pop_flag(args, "--profile")
     if _pop_flag(args, "--list"):
         for exp_id in list_experiment_ids():
             print(exp_id)
@@ -700,6 +701,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as e:
         raise SystemExit(f"--jobs/--retries need integers: {e}")
     parallel = jobs is not None or cache_dir is not None or resume
+    prof = None
+    if profile:
+        if parallel:
+            # Worker processes never see the coordinator's profiler;
+            # their sections would silently vanish from the table.
+            raise SystemExit("--profile requires the sequential path "
+                             "(drop --jobs/--cache-dir/--resume)")
+        from ..obs.prof import Profiler, activate_profiler
+
+        prof = Profiler()
+        prof.start()
+        activate_profiler(prof)
     ids = args or ["fig4a"]
     if ids == ["all"]:
         ids = list(EXPERIMENTS)
@@ -729,6 +742,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"  {report.summary()}")
         print(f"  [{exp_id} took {time.perf_counter() - t0:.1f}s at scale "
               f"{scale.name}]\n")
+    if prof is not None:
+        from ..obs.prof import deactivate_profiler
+        from ..obs.report import render_profile
+
+        prof.stop()
+        deactivate_profiler()
+        print(render_profile(prof.to_dict()))
+        print()
     if want_summary:
         from .summary import summarize_all
 

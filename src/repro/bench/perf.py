@@ -1,0 +1,249 @@
+"""Perf trajectory: timed pinned sweeps, written as ``BENCH_<rev>.json``.
+
+The tier-1 suite answers "is it still correct?"; this module answers
+"is it still fast?".  ``run_perf`` times a pinned set of representative
+cases — two fig5 YCSB cells (DBCC and TSKD[CC] at theta 0.8), two fig4
+TPC-C cells (Strife and TSKD[S] under an I/O tail), and one end-to-end
+serve session driven by the closed-loop load generator — and writes one
+schema-validated ``repro.bench/1`` document per revision into
+``benchmarks/results/``.  Committing a BENCH file per meaningful change
+grows a wall-clock trajectory of the repo (the ROADMAP's speed-roadmap
+item): regressions show up as a diff, not an anecdote.
+
+Wall times are machine-dependent by nature; the artifact therefore
+records the machine (platform, Python, CPU count) next to every number,
+and CI's perf-smoke job only *validates* the schema and sanity of a
+quick run — it never compares absolute times across machines.  See
+docs/perf.md for the schema and workflow.
+
+Each sim case also embeds its profiler top sections (self-time table
+from :mod:`repro.obs.prof`), so a BENCH diff shows not just *that* a
+revision got slower but *where*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Optional
+
+from ..common.config import ExperimentConfig, IoLatencyConfig, ServeConfig
+from ..obs.artifact import BENCH_SCHEMA_ID, validate_bench_artifact
+from ..obs.prof import Profiler
+from .experiments import (
+    BENCH,
+    QUICK,
+    Scale,
+    default_exp,
+    tpcc_workload,
+    ycsb_workload,
+)
+from .runner import make_system, run_system
+
+#: How many profiler sections each case keeps (sorted by wall self-time).
+PROFILE_TOP_K = 8
+
+#: Serve-case sizing: (transactions, clients) per scale name.
+_SERVE_SIZE = {"quick": (200, 4), "bench": (800, 8)}
+
+
+def machine_info() -> dict:
+    """Where these wall-clock numbers were measured."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_rev(default: str = "dev") -> str:
+    """Short git revision of the working tree, or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or default
+    except (OSError, subprocess.SubprocessError):
+        return default
+
+
+def _profile_top(prof: Profiler, k: int = PROFILE_TOP_K) -> list[dict]:
+    doc = prof.to_dict()
+    ordered = sorted(doc["sections"].items(),
+                     key=lambda kv: kv[1]["wall_ns"], reverse=True)
+    return [
+        {"section": name, "calls": sec["calls"], "wall_ns": sec["wall_ns"],
+         "vcycles": sec["vcycles"]}
+        for name, sec in ordered[:k]
+    ]
+
+
+def _sim_case(name: str, workload, system_spec: str,
+              exp: ExperimentConfig, repeat: int) -> dict:
+    """Time ``repeat`` profiled runs of one (workload, system) cell."""
+    walls = []
+    result = None
+    prof = None
+    for _ in range(repeat):
+        prof = Profiler()
+        prof.start()
+        t0 = time.perf_counter()
+        result = run_system(workload, make_system(system_spec), exp,
+                            prof=prof)
+        walls.append(time.perf_counter() - t0)
+        prof.stop()
+    wall = min(walls)  # best-of-N: least scheduler noise
+    return {
+        "name": name,
+        "kind": "sim",
+        "system": system_spec,
+        "txns": len(workload),
+        "wall_s": round(wall, 4),
+        "wall_all_s": [round(w, 4) for w in walls],
+        "committed": result.committed,
+        "wall_txn_s": round(result.committed / wall, 1) if wall else 0.0,
+        "sim_throughput_txn_s": round(result.throughput, 1),
+        "retries": result.retries,
+        "profile_top": _profile_top(prof),
+    }
+
+
+async def _serve_case_async(name: str, scale: Scale,
+                            exp: ExperimentConfig) -> dict:
+    from ..serve.loadgen import run_loadgen
+    from ..serve.server import ServeServer
+
+    n_txns, clients = _SERVE_SIZE.get(scale.name, _SERVE_SIZE["bench"])
+    workload = ycsb_workload(scale, exp, 0.8, seed=0)
+    txns = list(workload)[:n_txns]
+    serve = ServeConfig(system="tskd-cc", host="127.0.0.1", port=0,
+                        epoch_max_txns=64, epoch_max_ms=20.0)
+    server = ServeServer(serve, exp)
+    await server.start()
+    try:
+        t0 = time.perf_counter()
+        report = await run_loadgen(
+            "127.0.0.1", server.port, txns, clients=clients,
+            mode="closed", seed=0, drain=True,
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        await server.stop()
+        await asyncio.sleep(0)  # let connection tasks unwind
+    lat = report.latency_ms
+    return {
+        "name": name,
+        "kind": "serve",
+        "system": serve.system,
+        "txns": len(txns),
+        "clients": clients,
+        "wall_s": round(wall, 4),
+        "committed": report.committed,
+        "wall_txn_s": round(report.committed / wall, 1) if wall else 0.0,
+        "rejects": report.rejects,
+        "p50_ms": lat["p50"],
+        "p99_ms": lat["p99"],
+    }
+
+
+def run_perf(
+    quick: bool = False,
+    out_dir: str = "benchmarks/results",
+    rev: Optional[str] = None,
+    repeat: int = 2,
+) -> tuple[str, dict]:
+    """Run the pinned perf cases; write and return ``BENCH_<rev>.json``.
+
+    ``quick`` shrinks every case to CI-smoke size (whole run well under
+    a minute); the standard size is what committed baselines use.
+    """
+    from .. import __version__
+
+    scale = QUICK if quick else BENCH
+    rev = rev or git_rev()
+    cases = []
+
+    exp5 = default_exp(scale).with_(seed=0)
+    w_ycsb = ycsb_workload(scale, exp5, 0.8, seed=0)
+    cases.append(_sim_case("fig5.ycsb.t08.dbcc", w_ycsb, "dbcc", exp5, repeat))
+    cases.append(_sim_case("fig5.ycsb.t08.tskd-cc", w_ycsb, "tskd-cc",
+                           exp5, repeat))
+
+    exp4 = default_exp(scale).with_(
+        seed=0, io=IoLatencyConfig(l_io=50, theta_io=1.2))
+    w_tpcc = tpcc_workload(scale, exp4, seed=0)
+    cases.append(_sim_case("fig4.tpcc.io.strife", w_tpcc, "strife",
+                           exp4, repeat))
+    cases.append(_sim_case("fig4.tpcc.io.tskd-s", w_tpcc, "tskd-s",
+                           exp4, repeat))
+
+    cases.append(asyncio.run(
+        _serve_case_async("serve.loadgen.closed", scale, exp5)))
+
+    doc = {
+        "schema": BENCH_SCHEMA_ID,
+        "generated_by": f"repro {__version__}",
+        "rev": rev,
+        "quick": quick,
+        "scale": scale.name,
+        "machine": machine_info(),
+        "cases": cases,
+    }
+    validate_bench_artifact(doc)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{rev}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path, doc
+
+
+def render_bench(doc: dict) -> str:
+    """One-screen summary of a bench document."""
+    m = doc["machine"]
+    lines = [
+        f"== perf {doc['rev']}  ({'quick' if doc['quick'] else 'standard'} "
+        f"scale, {m['platform']}, python {m['python']}, "
+        f"{m['cpu_count']} cpus)"
+    ]
+    lines.append(f"{'case':<26s} {'kind':>6s} {'wall s':>8s} "
+                 f"{'committed':>10s} {'txn/s(wall)':>12s}")
+    for c in doc["cases"]:
+        lines.append(
+            f"{c['name']:<26s} {c['kind']:>6s} {c['wall_s']:>8.3f} "
+            f"{c['committed']:>10,} {c['wall_txn_s']:>12,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    if quick:
+        args.remove("--quick")
+    out_dir = "benchmarks/results"
+    rev = None
+    i = 0
+    while i < len(args):
+        if args[i] == "--out" and i + 1 < len(args):
+            out_dir = args[i + 1]
+            del args[i:i + 2]
+        elif args[i] == "--rev" and i + 1 < len(args):
+            rev = args[i + 1]
+            del args[i:i + 2]
+        else:
+            i += 1
+    path, doc = run_perf(quick=quick, out_dir=out_dir, rev=rev)
+    print(render_bench(doc))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from ..obs.metrics import (
     RETRY_BUCKETS,
     MetricsRegistry,
 )
+from ..obs.prof import Profiler, get_active_profiler
 from ..obs.tracing import Tracer
 from ..partition.base import Partitioner
 from ..sim.engine import MulticoreEngine
@@ -85,6 +86,7 @@ def run_system(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     fault_plan: Optional[FaultPlan] = None,
+    prof: Optional[Profiler] = None,
 ) -> RunResult:
     """Execute ``workload`` under ``system`` and return the measurements.
 
@@ -92,6 +94,12 @@ def run_system(
     (see :mod:`repro.obs.tracing`); ``metrics`` supplies the registry the
     run populates — one is created when omitted, and either way the
     populated registry rides back on ``RunResult.metrics``.
+
+    ``prof`` attributes self-time (and deterministic virtual cycles) to
+    named engine sections (:mod:`repro.obs.prof`); when omitted, the
+    process-wide active profiler — if one was installed via
+    ``activate_profiler`` (e.g. ``repro experiment --profile``) — is
+    used, so callers deep in an experiment loop need no plumbing.
 
     ``fault_plan`` injects a compiled chaos timeline (:mod:`repro.faults`)
     into the CC execution engine; when omitted, ``exp.faults`` (a
@@ -107,8 +115,15 @@ def run_system(
         if spec is not None and getattr(spec, "enabled", False):
             fault_plan = FaultPlan.compile(spec, k)
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    if prof is None:
+        prof = get_active_profiler()
     if cost is None:
-        cost = warm_up_history(workload, sim, rng=rng.fork(1))
+        if prof is None:
+            cost = warm_up_history(workload, sim, rng=rng.fork(1))
+        else:
+            prof.push("bench.warmup")
+            cost = warm_up_history(workload, sim, rng=rng.fork(1))
+            prof.pop()
 
     dispatch_filter = None
     progress_hooks = None
@@ -123,8 +138,16 @@ def run_system(
         if graph is not None and graph.isolation is not system.isolation:
             graph = None  # caller's graph is for a different isolation level
         if graph is None and system.use_tspar:
+            if prof is not None:
+                prof.push("bench.graph")
             graph = workload.conflict_graph(system.isolation)
+            if prof is not None:
+                prof.pop()
+        if prof is not None:
+            prof.push("bench.schedule")
         plan = system.prepare(workload, k, cost, rng=rng.fork(2), graph=graph)
+        if prof is not None:
+            prof.pop()
         schedule = plan.schedule
         phases = plan.phases
         tsdefer = system.make_filter(k, rng=rng.fork(3))
@@ -133,9 +156,17 @@ def run_system(
             progress_hooks = tsdefer
     else:  # baseline partitioner: sees access sets only, not cost estimates
         if graph is None:
+            if prof is not None:
+                prof.push("bench.graph")
             graph = workload.conflict_graph()
+            if prof is not None:
+                prof.pop()
+        if prof is not None:
+            prof.push("bench.schedule")
         plan = system.partition(workload, k, graph=graph, cost=None,
                                 rng=rng.fork(2))
+        if prof is not None:
+            prof.pop()
         plan.validate(workload)
         phases = [[list(p) for p in plan.parts]]
         if plan.residual:
@@ -165,7 +196,7 @@ def run_system(
         free_sim = sim.with_(cc="none", cc_op_overhead=0, commit_overhead=0)
         gate_engine = MulticoreEngine(
             free_sim, db=db, dispatch_gate=enforcer, progress_hooks=enforcer,
-            record_history=record_history, tracer=tracer,
+            record_history=record_history, tracer=tracer, prof=prof,
         )
         enforcer.bind(gate_engine)
         result = gate_engine.run(phases[0])
@@ -200,12 +231,15 @@ def run_system(
         history=shared_history,
         tracer=tracer,
         faults=injector,
+        prof=prof,
     )
     if dispatch_filter is not None:
         # Bounded future probing reads remote queues past headp.
         dispatch_filter.table.bind_buffers(engine.buffer_of)
         if injector is not None and injector.enabled:
             dispatch_filter.table.bind_corruption(injector.probe_corrupt)
+        if prof is not None:
+            dispatch_filter.table.bind_profiler(prof)
 
     for phase_idx, buffers in enumerate(remaining):
         result = engine.run(buffers, start_time=clock)

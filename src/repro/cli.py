@@ -9,24 +9,33 @@ Subcommands:
 * ``tune``       — pilot-run TsDEFER parameter tuning for a workload;
 * ``serve``      — run the live scheduling service (repro.serve);
 * ``loadgen``    — drive a running server with a seeded client fleet;
-* ``trace``      — replay a saved JSONL span log as a timeline;
-* ``report``     — render a saved JSON run artifact for humans.
+* ``trace``      — replay a saved JSONL span log as a timeline, or
+  convert it to Chrome trace-event JSON (``--chrome``);
+* ``report``     — render a saved JSON artifact (run, serve, or bench)
+  for humans; exits 2 on unknown artifact versions;
+* ``watch``      — live terminal dashboard for a running server;
+* ``perf``       — time the pinned perf cases, write ``BENCH_<rev>.json``.
 
 Examples::
 
     python -m repro run --workload ycsb --theta 0.9 --system tskd-s
     python -m repro run --workload ycsb --system tskd-s \\
         --export-json out.json --trace out.trace.jsonl
+    python -m repro run --workload ycsb --system tskd-cc --profile
     python -m repro run --workload ycsb --system tskd-cc --offered-tps 30000
     python -m repro compare --workload tpcc --cross-pct 0.35 --bundle 1000
     python -m repro experiment fig4a fig5g --quick
+    python -m repro experiment fig5a --quick --profile
     python -m repro faults --scenario chaos --restart-policy backoff
     python -m repro faults --crashes 2 --stalls 4 --replay-check
     python -m repro tune --workload ycsb --theta 0.8
     python -m repro serve --port 7407 --system tskd-0 --export-json serve.json
     python -m repro loadgen --port 7407 --txns 1000 --seed 0 --drain
+    python -m repro watch --port 7407 --interval 1.0
     python -m repro trace out.trace.jsonl --tid 17
+    python -m repro trace out.trace.jsonl --chrome out.chrome.json
     python -m repro report out.json
+    python -m repro perf --quick
 """
 
 from __future__ import annotations
@@ -59,16 +68,25 @@ from .common.config import (
 )
 from .core.autotune import tune_tsdefer
 from .obs import (
+    BENCH_SCHEMA_ID,
+    SCHEMA_ID,
     SERVE_SCHEMA_ID,
     ArtifactError,
     JsonlTracer,
+    Profiler,
+    chrome_from_serve_epochs,
+    chrome_trace_events,
     export_run,
-    load_artifact,
     load_trace,
     render_artifact,
+    render_profile,
     render_serve_artifact,
     render_timeline,
     render_trace_summary,
+    validate_artifact,
+    validate_bench_artifact,
+    validate_serve_artifact,
+    write_chrome_trace,
 )
 
 #: System spec names accepted by --system.  Append "!" to a tskd-* name
@@ -146,7 +164,7 @@ def _print_result(result) -> None:
              if result.scheduled_pct is not None else ""))
 
 
-def _run_open_system(workload, exp, args, tracer):
+def _run_open_system(workload, exp, args, tracer, prof=None):
     """Arrival-driven run; returns (RunResult, OpenSystemResult)."""
     from .common.rng import Rng
     from .common.stats import RunResult, percentile
@@ -167,9 +185,11 @@ def _run_open_system(workload, exp, args, tracer):
     elif not isinstance(system, str):
         raise SystemExit("--offered-tps supports dbcc or tskd-cc only")
     engine = MulticoreEngine(exp.sim, dispatch_filter=filt,
-                             progress_hooks=filt, tracer=tracer)
+                             progress_hooks=filt, tracer=tracer, prof=prof)
     if filt is not None:
         filt.table.bind_buffers(engine.buffer_of)
+        if prof is not None:
+            filt.table.bind_profiler(prof)
     osr = run_open_system(engine, list(workload), args.offered_tps,
                           rng=rng.fork(4), assignment=args.arrival_assignment)
     phase = osr.phase
@@ -207,18 +227,28 @@ def cmd_run(args) -> int:
         tracer = JsonlTracer(args.trace) if args.trace else None
     except OSError as e:
         raise SystemExit(f"cannot write trace {args.trace!r}: {e}")
+    prof = None
+    if args.profile:
+        prof = Profiler()
+        prof.start()
     open_system = None
     try:
         if args.offered_tps:
-            result, osr = _run_open_system(workload, exp, args, tracer)
+            result, osr = _run_open_system(workload, exp, args, tracer,
+                                           prof=prof)
             open_system = osr.to_dict()
         else:
             result = run_system(workload, _make_system(args.system), exp,
-                                tracer=tracer)
+                                tracer=tracer, prof=prof)
     finally:
+        if prof is not None and prof.running:
+            prof.stop()
         if tracer is not None:
             tracer.close()
     _print_result(result)
+    if prof is not None:
+        print()
+        print(render_profile(prof.to_dict()))
     if open_system is not None:
         print(f"open-system: offered {open_system['offered_tps']:,.0f} txn/s  "
               f"completed {open_system['completed_tps']:,.0f} txn/s  "
@@ -229,7 +259,8 @@ def cmd_run(args) -> int:
     if args.export_json:
         export_run(args.export_json, result, config=exp,
                    trace_path=args.trace, workload=args.workload,
-                   open_system=open_system)
+                   open_system=open_system,
+                   profile=prof.to_dict() if prof is not None else None)
         print(f"artifact: {args.export_json}")
     return 0
 
@@ -322,6 +353,46 @@ def cmd_faults(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    """Replay a span log — or convert it for chrome://tracing.
+
+    ``--chrome`` accepts either a JSONL span log (run/faults --trace) or
+    a ``repro.serve/1`` drain artifact with epoch records; both become
+    one trace-event JSON viewable in Perfetto / chrome://tracing.
+    """
+    if args.chrome:
+        try:
+            with open(args.path, encoding="utf-8") as f:
+                head = f.read(1)
+                f.seek(0)
+                # A serve artifact is one JSON object; a span log is
+                # JSONL whose first line is also an object — so sniff by
+                # parsing the whole file first and fall back to JSONL.
+                doc = json.load(f) if head == "{" else None
+        except OSError as e:
+            raise SystemExit(f"cannot read trace {args.path!r}: {e}")
+        except json.JSONDecodeError:
+            doc = None  # multi-line JSONL: not a single document
+        if isinstance(doc, dict) and doc.get("schema") == SERVE_SCHEMA_ID:
+            if not doc.get("epochs"):
+                raise SystemExit(
+                    f"{args.path!r} has no epoch records; re-export the "
+                    "serve artifact from a server run with epochs")
+            trace_events = chrome_from_serve_epochs(doc["epochs"])
+        else:
+            try:
+                events = list(load_trace(args.path))
+            except (OSError, json.JSONDecodeError, KeyError) as e:
+                raise SystemExit(
+                    f"{args.path!r} is not a JSONL span log: {e}")
+            trace_events = chrome_trace_events(events,
+                                               include_ops=args.include_ops)
+        try:
+            write_chrome_trace(args.chrome, trace_events)
+        except OSError as e:
+            raise SystemExit(f"cannot write {args.chrome!r}: {e}")
+        print(f"chrome trace: {len(trace_events)} events -> {args.chrome}")
+        print("open in chrome://tracing or https://ui.perfetto.dev")
+        return 0
     try:
         events = list(load_trace(args.path))
     except OSError as e:
@@ -336,18 +407,39 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report(args) -> int:
+    """Render any repro artifact; exit 2 on unknown schema versions.
+
+    Exit 2 (vs the generic failure 1) lets scripts distinguish "this
+    file is from a newer repro than me" from "this file is corrupt".
+    """
     try:
-        doc = load_artifact(args.path)
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
     except OSError as e:
         raise SystemExit(f"cannot read artifact {args.path!r}: {e}")
     except json.JSONDecodeError as e:
         raise SystemExit(f"{args.path!r} is not JSON: {e}")
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    known = (SCHEMA_ID, SERVE_SCHEMA_ID, BENCH_SCHEMA_ID)
+    if schema not in known:
+        print(f"unknown artifact version {schema!r} in {args.path!r}; "
+              f"this repro understands {', '.join(known)}",
+              file=sys.stderr)
+        return 2
+    try:
+        if schema == SERVE_SCHEMA_ID:
+            validate_serve_artifact(doc)
+            print(render_serve_artifact(doc))
+        elif schema == BENCH_SCHEMA_ID:
+            validate_bench_artifact(doc)
+            from .bench.perf import render_bench
+
+            print(render_bench(doc))
+        else:
+            validate_artifact(doc)
+            print(render_artifact(doc))
     except ArtifactError as e:
         raise SystemExit(f"invalid artifact {args.path!r}: {e}")
-    if doc.get("schema") == SERVE_SCHEMA_ID:
-        print(render_serve_artifact(doc))
-    else:
-        print(render_artifact(doc))
     return 0
 
 
@@ -386,7 +478,8 @@ async def _serve_main(serve_cfg: ServeConfig, exp: ExperimentConfig,
     from .serve import ServeServer
 
     server = ServeServer(serve_cfg, exp, export_path=args.export_json,
-                         exit_on_drain=args.exit_on_drain)
+                         exit_on_drain=args.exit_on_drain,
+                         trace_path=args.trace)
     await server.start()
     print(f"serving {serve_cfg.system} on {serve_cfg.host}:{server.port}  "
           f"(epochs: {serve_cfg.epoch_max_txns} txns / "
@@ -414,6 +507,8 @@ async def _serve_main(serve_cfg: ServeConfig, exp: ExperimentConfig,
     print(f"drained: {summary['committed']:,} committed over "
           f"{summary['epochs']} epochs, {summary['rejected']:,} rejected  "
           f"p99={summary['latency_ms']['p99']} ms")
+    if args.trace:
+        print(f"trace: {args.trace}")
     if args.export_json:
         print(f"artifact: {args.export_json}")
     return 0
@@ -456,7 +551,7 @@ def cmd_loadgen(args) -> int:
             args.host, args.port, list(workload),
             clients=args.clients, mode=args.mode,
             offered_tps=args.offered_tps, seed=args.seed,
-            drain=args.drain,
+            drain=args.drain, trace_path=args.trace,
         ))
     except ConnectionError as e:
         raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {e}")
@@ -467,6 +562,28 @@ def cmd_loadgen(args) -> int:
         doc["server"] = report.drained
     print(json.dumps(doc, indent=2, sort_keys=True))
     return 0 if report.errors == 0 and report.committed == report.txns else 1
+
+
+def cmd_watch(args) -> int:
+    from .obs.live import watch
+
+    try:
+        asyncio.run(watch(args.host, args.port, interval_s=args.interval,
+                          iterations=args.iterations))
+    except ConnectionError as e:
+        raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {e}")
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from .bench.perf import render_bench, run_perf
+
+    path, doc = run_perf(quick=args.quick, out_dir=args.out, rev=args.rev)
+    print(render_bench(doc))
+    print(f"wrote {path}")
+    return 0
 
 
 def cmd_tune(args) -> int:
@@ -503,6 +620,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="write a schema-validated run artifact here")
     p_run.add_argument("--trace", metavar="PATH",
                        help="stream engine span events to this JSONL file")
+    p_run.add_argument("--profile", action="store_true",
+                       help="profile the run: print a per-section "
+                            "self-time table (repro.obs.prof)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare systems on one bundle")
@@ -567,6 +687,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                             "drain artifact (batch replay)")
     p_srv.add_argument("--export-json", metavar="PATH",
                        help="write a repro.serve/1 artifact on drain")
+    p_srv.add_argument("--trace", metavar="PATH",
+                       help="stream engine span + epoch events from every "
+                            "executed epoch to this JSONL file")
     p_srv.add_argument("--exit-on-drain", action="store_true",
                        help="shut the server down after the first drain "
                             "frame (CI smoke runs)")
@@ -599,6 +722,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                       help="disable the runtime-skew extension")
     p_lg.add_argument("--io", type=int, default=0, metavar="L_IO",
                       help="enable the I/O-latency extension at this l_IO")
+    p_lg.add_argument("--trace", metavar="PATH",
+                      help="write one JSON line per transaction record "
+                           "(client-side latency/attempts/rejects)")
     p_lg.set_defaults(func=cmd_loadgen)
 
     p_tune = sub.add_parser("tune", help="tune TsDEFER for a workload")
@@ -615,11 +741,41 @@ def main(argv: Sequence[str] | None = None) -> int:
                          help="only events from this thread")
     p_trace.add_argument("--tid", type=int, default=None,
                          help="only events for this transaction id")
+    p_trace.add_argument("--chrome", metavar="OUT",
+                         help="convert to Chrome trace-event JSON "
+                              "(chrome://tracing / Perfetto) instead of "
+                              "printing a timeline")
+    p_trace.add_argument("--include-ops", action="store_true",
+                         help="include per-op/validate instants in the "
+                              "Chrome trace (verbose)")
     p_trace.set_defaults(func=cmd_trace)
 
-    p_rep = sub.add_parser("report", help="render a saved run artifact")
-    p_rep.add_argument("path", help="artifact written by run --export-json")
+    p_rep = sub.add_parser(
+        "report", help="render a saved run/serve/bench artifact")
+    p_rep.add_argument("path", help="artifact written by run --export-json, "
+                                    "serve --export-json, or perf")
     p_rep.set_defaults(func=cmd_report)
+
+    p_watch = sub.add_parser(
+        "watch", help="live terminal dashboard for a running server")
+    p_watch.add_argument("--host", default="127.0.0.1")
+    p_watch.add_argument("--port", type=int, default=7407)
+    p_watch.add_argument("--interval", type=float, default=1.0,
+                         help="seconds between stats polls")
+    p_watch.add_argument("--iterations", type=int, default=None,
+                         help="stop after this many frames (default: "
+                              "until interrupted or server exit)")
+    p_watch.set_defaults(func=cmd_watch)
+
+    p_perf = sub.add_parser(
+        "perf", help="time the pinned perf cases, write BENCH_<rev>.json")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="CI-smoke sizing (seconds, not minutes)")
+    p_perf.add_argument("--out", default="benchmarks/results",
+                        help="directory the BENCH_<rev>.json lands in")
+    p_perf.add_argument("--rev", default=None,
+                        help="revision label (default: git short rev)")
+    p_perf.set_defaults(func=cmd_perf)
 
     args = parser.parse_args(argv)
     if args.command == "experiment":

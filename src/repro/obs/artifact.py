@@ -33,6 +33,18 @@ SCHEMA_ID = "repro.run/1"
 #: Serving-session artifact schema identifier.
 SERVE_SCHEMA_ID = "repro.serve/1"
 
+#: Perf-trajectory artifact schema identifier (``BENCH_<rev>.json``).
+BENCH_SCHEMA_ID = "repro.bench/1"
+
+#: Required keys of each entry in a bench artifact's ``cases`` list.
+_BENCH_CASE_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "kind": (str,),
+    "wall_s": (int, float),
+    "committed": (int,),
+    "wall_txn_s": (int, float),
+}
+
 #: Required keys of the ``run`` section, with the types a validator
 #: accepts (int is acceptable wherever float is).
 _RUN_FIELDS: dict[str, tuple[type, ...]] = {
@@ -145,12 +157,15 @@ def build_artifact(
     trace_path: Optional[str] = None,
     workload: Optional[str] = None,
     open_system: Optional[Mapping] = None,
+    profile: Optional[Mapping] = None,
 ) -> dict:
     """Assemble the artifact document for one run.
 
     ``open_system`` is the optional queueing-inclusive section produced
     by :meth:`repro.sim.stream.OpenSystemResult.to_dict` when the run was
-    driven by a timed arrival stream.
+    driven by a timed arrival stream.  ``profile`` is the optional
+    section self-time table from :meth:`repro.obs.prof.Profiler.to_dict`
+    when the run was profiled.
     """
     from .. import __version__
 
@@ -167,6 +182,8 @@ def build_artifact(
     }
     if open_system is not None:
         doc["open_system"] = dict(open_system)
+    if profile is not None:
+        doc["profile"] = dict(profile)
     return doc
 
 
@@ -178,11 +195,12 @@ def export_run(
     trace_path: Optional[str] = None,
     workload: Optional[str] = None,
     open_system: Optional[Mapping] = None,
+    profile: Optional[Mapping] = None,
 ) -> dict:
     """Build, validate, and write the artifact; returns the document."""
     doc = build_artifact(result, metrics=metrics, config=config,
                          trace_path=trace_path, workload=workload,
-                         open_system=open_system)
+                         open_system=open_system, profile=profile)
     validate_artifact(doc)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -280,6 +298,27 @@ def validate_artifact(doc: Mapping) -> None:
     trace_path = doc.get("trace_path")
     if trace_path is not None and not isinstance(trace_path, str):
         raise ArtifactError("trace_path must be a string or null")
+    profile = doc.get("profile")
+    if profile is not None:
+        _validate_profile(profile)
+
+
+def _validate_profile(profile) -> None:
+    if not isinstance(profile, Mapping):
+        raise ArtifactError("profile section must be an object")
+    if profile.get("mode") not in ("wall", "virtual"):
+        raise ArtifactError(
+            f"profile.mode must be 'wall' or 'virtual', "
+            f"got {profile.get('mode')!r}")
+    sections = profile.get("sections")
+    if not isinstance(sections, Mapping):
+        raise ArtifactError("profile.sections must be an object")
+    for name, sec in sections.items():
+        for key in ("calls", "wall_ns", "vcycles"):
+            v = sec.get(key) if isinstance(sec, Mapping) else None
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise ArtifactError(
+                    f"profile section {name!r}: {key} must be an integer")
 
 
 def validate_serve_artifact(doc: Mapping) -> None:
@@ -356,3 +395,48 @@ def _validate_metrics(doc: Mapping) -> None:
                 f"histogram {name!r}: counts sum to {sum(hist['counts'])}, "
                 f"declared count is {hist['count']}"
             )
+
+
+def validate_bench_artifact(doc: Mapping) -> None:
+    """Structural check of a ``repro.bench/1`` perf-trajectory document.
+
+    ``BENCH_<rev>.json`` files (see :mod:`repro.bench.perf` and
+    docs/perf.md) carry wall-clock measurements of pinned representative
+    sweeps; CI regenerates and validates one per revision.
+    """
+    if not isinstance(doc, Mapping):
+        raise ArtifactError(f"artifact must be an object, got {type(doc)!r}")
+    if doc.get("schema") != BENCH_SCHEMA_ID:
+        raise ArtifactError(
+            f"unknown schema {doc.get('schema')!r}; expected {BENCH_SCHEMA_ID!r}"
+        )
+    if not isinstance(doc.get("rev"), str) or not doc["rev"]:
+        raise ArtifactError("bench artifact needs a non-empty 'rev' string")
+    if not isinstance(doc.get("quick"), bool):
+        raise ArtifactError("bench artifact needs a boolean 'quick' flag")
+    machine = doc.get("machine")
+    if not isinstance(machine, Mapping):
+        raise ArtifactError("bench artifact is missing its 'machine' section")
+    for key in ("platform", "python", "cpu_count"):
+        if key not in machine:
+            raise ArtifactError(f"machine section is missing {key!r}")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        raise ArtifactError("bench artifact needs a non-empty 'cases' list")
+    names = set()
+    for i, case in enumerate(cases):
+        if not isinstance(case, Mapping):
+            raise ArtifactError(f"cases[{i}] must be an object")
+        _validate_section(case, _BENCH_CASE_FIELDS, f"cases[{i}]")
+        if case["kind"] not in ("sim", "serve"):
+            raise ArtifactError(
+                f"cases[{i}].kind must be 'sim' or 'serve', "
+                f"got {case['kind']!r}")
+        if case["wall_s"] < 0:
+            raise ArtifactError(f"cases[{i}].wall_s must be non-negative")
+        if case["name"] in names:
+            raise ArtifactError(f"duplicate case name {case['name']!r}")
+        names.add(case["name"])
+        profile = case.get("profile_top")
+        if profile is not None and not isinstance(profile, list):
+            raise ArtifactError(f"cases[{i}].profile_top must be a list")

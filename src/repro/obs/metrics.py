@@ -31,6 +31,86 @@ LATENCY_BUCKETS_CYCLES = (
 #: Retry-count-per-transaction histogram upper bounds.
 RETRY_BUCKETS = (0, 1, 2, 3, 5, 10, 25, 100)
 
+#: Quantiles every histogram tracks with a streaming estimator.
+STREAM_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class P2Quantile:
+    """Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+
+    O(1) memory per tracked quantile, deterministic for a given
+    observation order, no dependencies — so live p99s no longer depend
+    on bucket-boundary luck.  The first five observations are held
+    exactly; after that, five markers track (min, q/2, q, (1+q)/2, max)
+    and the middle heights adjust by the piecewise-parabolic rule.
+    """
+
+    __slots__ = ("q", "_init", "_heights", "_positions", "_desired", "_incr")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._init: list[float] = []
+        self._heights: list[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._incr = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, x: float) -> None:
+        if not self._heights:
+            self._init.append(x)
+            if len(self._init) == 5:
+                self._heights = sorted(self._init)
+            return
+        h, n = self._heights, self._positions
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._desired[i] += self._incr[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - n[i]
+            if ((d >= 1.0 and n[i + 1] - n[i] > 1)
+                    or (d <= -1.0 and n[i - 1] - n[i] < -1)):
+                s = 1 if d >= 1.0 else -1
+                cand = self._parabolic(i, s)
+                if not h[i - 1] < cand < h[i + 1]:
+                    cand = self._linear(i, s)
+                h[i] = cand
+                n[i] += s
+
+    def _parabolic(self, i: int, s: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + s / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + s) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - s) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, s: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + s * (h[i + s] - h[i]) / (n[i + s] - n[i])
+
+    def value(self) -> Optional[float]:
+        """Current estimate, or None before any observation."""
+        if self._heights:
+            return self._heights[2]
+        if not self._init:
+            return None
+        ordered = sorted(self._init)
+        rank = max(0, min(len(ordered) - 1,
+                          round(self.q * (len(ordered) - 1))))
+        return ordered[rank]
+
 
 @dataclass
 class Counter:
@@ -77,11 +157,20 @@ class Histogram:
             raise ValueError(f"histogram {self.name}: bounds must ascend")
         if not self.counts:
             self.counts = [0] * (len(self.bounds) + 1)
+        #: Streaming estimators fed by observe(); deserialised or merged
+        #: histograms have empty ones and fall back to bucket quantiles.
+        self._estimators = {q: P2Quantile(q) for q in STREAM_QUANTILES}
+        #: Estimates carried over a serialisation roundtrip: the raw
+        #: samples are gone, so the snapshot values are re-emitted as-is
+        #: (and dropped on merge, where they would misrepresent the sum).
+        self._static_quantiles: dict[str, float] = {}
 
     def observe(self, value: Number) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.total += 1
         self.sum += value
+        for est in self._estimators.values():
+            est.observe(value)
 
     def observe_many(self, values: Iterable[Number]) -> None:
         for v in values:
@@ -103,9 +192,33 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
         return float("inf")  # pragma: no cover - defensive
 
+    def quantile_estimate(self, q: float) -> Optional[float]:
+        """Streaming P² estimate for ``q``, or None when unavailable.
+
+        Only the :data:`STREAM_QUANTILES` are tracked, and only
+        histograms that saw their observations directly (not merged or
+        deserialised ones) have estimates; callers fall back to
+        :meth:`quantile`'s bucket bound otherwise.
+        """
+        est = self._estimators.get(q)
+        return est.value() if est is not None else None
+
+    def quantile_estimates(self) -> dict[str, float]:
+        """All available streaming estimates, keyed ``p50``-style."""
+        out = {}
+        for q, est in sorted(self._estimators.items()):
+            v = est.value()
+            if v is not None:
+                out[f"p{round(q * 100)}"] = round(float(v), 6)
+        return out
+
     def to_dict(self) -> dict:
-        return {"bounds": list(self.bounds), "counts": list(self.counts),
-                "count": self.total, "sum": self.sum}
+        doc = {"bounds": list(self.bounds), "counts": list(self.counts),
+               "count": self.total, "sum": self.sum}
+        quantiles = self.quantile_estimates() or self._static_quantiles
+        if quantiles:
+            doc["quantiles"] = dict(quantiles)
+        return doc
 
 
 class MetricsRegistry:
@@ -187,6 +300,7 @@ class MetricsRegistry:
                 mine.counts[i] += c
             mine.total += h.total
             mine.sum += h.sum
+            mine._static_quantiles = {}
 
     # -- serialisation ----------------------------------------------------
     def to_dict(self) -> dict:
@@ -209,4 +323,5 @@ class MetricsRegistry:
             hist.counts = list(h["counts"])
             hist.total = h["count"]
             hist.sum = h["sum"]
+            hist._static_quantiles = dict(h.get("quantiles", {}))
         return reg

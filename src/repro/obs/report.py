@@ -25,6 +25,8 @@ _GLYPHS = {
     "commit": "✔",
     "abort": "✘",
     "finish": "◀",
+    "fault": "⚡",
+    "epoch": "▣",
 }
 
 
@@ -128,6 +130,47 @@ def render_histogram(name: str, hist: dict, width: int = 40) -> str:
     for label, n in zip(labels, counts):
         bar = "#" * (round(n / peak * width) if peak else 0)
         lines.append(f"  {label:>14s} {n:>8d} {bar}")
+    quantiles = hist.get("quantiles")
+    if quantiles:
+        lines.append("  streaming " + "  ".join(
+            f"{k}≈{v:,.6g}" for k, v in sorted(quantiles.items())))
+    return "\n".join(lines)
+
+
+def render_profile(profile: dict, top: Optional[int] = None) -> str:
+    """Self-time table of one serialized profile (Profiler.to_dict).
+
+    Wall-mode profiles sort by wall self-time; virtual-mode profiles
+    (deterministic runs) sort by attributed virtual cycles.  Section
+    self-times sum to the measured total exactly — the root ``other``
+    section absorbs time outside every named section.
+    """
+    mode = profile.get("mode", "wall")
+    sections = profile.get("sections", {})
+    total_ns = profile.get("total_wall_ns", 0)
+    lines = [f"== profile ({mode} mode)"]
+    if mode == "wall":
+        lines[0] += f"  total {total_ns / 1e6:,.2f} ms"
+        ordered = sorted(sections.items(),
+                         key=lambda kv: kv[1]["wall_ns"], reverse=True)
+    else:
+        ordered = sorted(sections.items(),
+                         key=lambda kv: (kv[1]["vcycles"], kv[1]["calls"]),
+                         reverse=True)
+    if not ordered:
+        lines.append("(no sections recorded)")
+        return "\n".join(lines)
+    lines.append(f"{'section':<26s} {'calls':>12s} {'self ms':>10s} "
+                 f"{'%':>6s} {'vcycles':>16s}")
+    if top is not None:
+        ordered = ordered[:top]
+    for name, sec in ordered:
+        pct = (sec["wall_ns"] / total_ns * 100.0) if total_ns else 0.0
+        lines.append(
+            f"{name:<26s} {sec['calls']:>12,} "
+            f"{sec['wall_ns'] / 1e6:>10,.2f} {pct:>5.1f}% "
+            f"{sec['vcycles']:>16,}"
+        )
     return "\n".join(lines)
 
 
@@ -192,6 +235,14 @@ def render_artifact(doc: dict) -> str:
             lines.append(f"  {name:<34s} {v:,.4g}")
     for name, hist in sorted(metrics.get("histograms", {}).items()):
         lines.append(render_histogram(name, hist))
+    faults = {n: v for n, v in counters.items()
+              if n.startswith(("faults.", "restart."))}
+    if faults:
+        lines.append("fault injection:")
+        for name, v in sorted(faults.items()):
+            lines.append(f"  {name:<34s} {v:,}")
+    if doc.get("profile"):
+        lines.append(render_profile(doc["profile"]))
     if doc.get("trace_path"):
         lines.append(f"span log: {doc['trace_path']}")
     return "\n".join(lines)

@@ -30,6 +30,9 @@ abort       attempt aborted (``attempt``, ``reason``, ``restart``,
 finish      commit stall served; transaction left the thread
 fault       injected fault fired (``fault`` kind, ``applied``,
             ``duration``; see repro.faults)
+epoch       one serving epoch finished executing (``epoch`` id,
+            ``start_cycles``, ``committed``, ``aborts``; emitted by
+            the serve pipeline, stamped at the epoch's end cycle)
 ==========  ========================================================
 """
 
@@ -51,6 +54,7 @@ EVENT_KINDS = (
     "abort",
     "finish",
     "fault",
+    "epoch",
 )
 
 

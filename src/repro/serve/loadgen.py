@@ -203,12 +203,17 @@ async def run_loadgen(
     seed: int = 0,
     drain: bool = False,
     max_retries: int = 1_000,
+    trace_path: Optional[str] = None,
 ) -> LoadgenReport:
     """Drive ``transactions`` at a server and report what happened.
 
     Transaction ``i`` always goes to client ``i % clients`` with request
     id ``i`` — the deal is positional, so the submission plan is a pure
     function of (transactions, clients, seed).
+
+    ``trace_path`` writes one JSON line per transaction record after the
+    run (client-side status, epoch, attempts, rejects, latency) — the
+    wire-level counterpart of the server's span log.
     """
     if clients <= 0:
         raise ValueError(f"clients must be positive, got {clients}")
@@ -255,6 +260,18 @@ async def run_loadgen(
             await client.close()
 
     wall = time.monotonic() - started
+    if trace_path is not None:
+        import json
+
+        with open(trace_path, "w", encoding="utf-8") as f:
+            for r in records:
+                f.write(json.dumps({
+                    "req_id": r.req_id, "status": r.status, "tid": r.tid,
+                    "epoch": r.epoch, "attempts": r.attempts,
+                    "rejects": r.rejects,
+                    "latency_s": round(r.latency_s, 6),
+                }, sort_keys=True))
+                f.write("\n")
     return LoadgenReport(
         txns=len(transactions),
         committed=sum(1 for r in records if r.status == STATUS_COMMITTED),

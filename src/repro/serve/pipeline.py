@@ -135,7 +135,8 @@ class _HookFanout:
 class EpochExecutor:
     """Deterministic schedule/execute core shared by server and replay."""
 
-    def __init__(self, serve: ServeConfig, exp: ExperimentConfig, db=None):
+    def __init__(self, serve: ServeConfig, exp: ExperimentConfig, db=None,
+                 tracer=None):
         self.serve = serve
         self.exp = exp
         self.k = exp.sim.num_threads
@@ -149,11 +150,16 @@ class EpochExecutor:
         self.db = db if db is not None else Database()
         tsdefer = self.tskd.make_filter(self.k, rng=Rng(exp.seed).fork(3))
         hooks = [self.commit_log] if tsdefer is None else [tsdefer, self.commit_log]
+        #: Optional span sink: engine events stream into it across every
+        #: epoch, and execute() adds one "epoch" event per epoch so the
+        #: Chrome exporter can draw the epoch track (repro trace --chrome).
+        self.tracer = tracer
         self.engine = MulticoreEngine(
             exp.sim,
             db=self.db,
             dispatch_filter=tsdefer,
             progress_hooks=_HookFanout(hooks),
+            tracer=tracer,
         )
         self.commit_log.bind(self.engine)
         if tsdefer is not None:
@@ -211,6 +217,16 @@ class EpochExecutor:
         start = self.clock
         result = self.tskd.execute_plan(self.engine, plan, start_time=start)
         self.clock = result.end_time
+        if self.tracer is not None:
+            from ..obs.tracing import TraceEvent
+
+            # Stamped at the epoch's end cycle so the span log's clock
+            # stays monotone (engine events of this epoch precede it).
+            self.tracer.emit(TraceEvent(
+                t=result.end_time, thread=0, kind="epoch", tid=-1,
+                attrs={"epoch": epoch_id, "start_cycles": start,
+                       "committed": len(self.commit_log.attempts),
+                       "aborts": result.counters.aborts}))
         return EpochOutcome(
             epoch_id=epoch_id,
             attempts=self.commit_log.drain(),
@@ -328,6 +344,12 @@ class EpochPipeline:
         self.spans: list[EpochSpan] = []
         #: Epochs admitted to a stage but not yet finished executing.
         self.in_flight = 0
+        self.pipeline_depth = pipeline_depth
+
+    @property
+    def staged(self) -> int:
+        """Scheduled epochs waiting for the execute stage."""
+        return self._staged.qsize()
 
     async def run(self) -> None:
         """Consume the batcher until shutdown; returns once drained."""

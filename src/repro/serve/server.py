@@ -26,7 +26,9 @@ from typing import Optional
 from ..common.config import ExperimentConfig, ServeConfig
 from ..common.stats import percentile
 from ..obs.artifact import build_serve_artifact, export_serve
+from ..obs.live import SlidingWindow
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import JsonlTracer
 from .batcher import EpochBatcher, Submission
 from .pipeline import EpochExecutor, EpochPipeline, TxnOutcome
 from .protocol import (
@@ -59,6 +61,7 @@ class ServeServer:
         exp: ExperimentConfig,
         export_path: Optional[str] = None,
         exit_on_drain: bool = False,
+        trace_path: Optional[str] = None,
     ):
         self.serve = serve
         self.exp = exp
@@ -67,8 +70,10 @@ class ServeServer:
         #: first drain frame (the CI smoke path: loadgen --drain ends
         #: the whole session).
         self.exit_on_drain = exit_on_drain
-
-        self.executor = EpochExecutor(serve, exp)
+        #: Optional JSONL span log: engine events plus one "epoch" event
+        #: per executed epoch, consumable by ``repro trace --chrome``.
+        self.tracer = JsonlTracer(trace_path) if trace_path else None
+        self.executor = EpochExecutor(serve, exp, tracer=self.tracer)
         self.batcher = EpochBatcher(serve.epoch_max_txns, serve.epoch_max_ms)
         self.metrics = MetricsRegistry()
         self.pipeline = EpochPipeline(
@@ -91,6 +96,9 @@ class ServeServer:
         self._rejected = 0
         self._committed = 0
         self._response_ms: list[float] = []
+        #: Exact response-latency quantiles over the last W wall seconds
+        #: (the live section of the stats frame; see repro.obs.live).
+        self._latency_window = SlidingWindow()
         self._drained = asyncio.Event()
         self._draining = False
 
@@ -142,6 +150,8 @@ class ServeServer:
                 self._draining = True
                 self.batcher.shutdown()
                 await self._pipeline_task
+                if self.tracer is not None:
+                    self.tracer.close()
                 if self.export_path is not None:
                     self._export(self.export_path)
                 self._drained.set()
@@ -256,6 +266,7 @@ class ServeServer:
         total_s = time.monotonic() - sub.submitted_at
         total_ms = total_s * 1_000.0
         self._response_ms.append(total_ms)
+        self._latency_window.observe(total_ms)
         self.metrics.histogram(
             "serve.latency_ms", SERVE_MS_BUCKETS,
             "submit-to-response wall latency",
@@ -301,6 +312,14 @@ class ServeServer:
 
     # -- introspection -----------------------------------------------------
     def stats(self) -> dict:
+        """The enriched ``stats`` frame: totals plus live telemetry.
+
+        The flat keys predate enrichment and stay for compatibility;
+        ``window`` (sliding-window latency quantiles), ``pipeline``
+        (stage occupancy), ``admission`` (backpressure state),
+        ``epochs_by_reason``, and the full ``metrics`` registry snapshot
+        feed ``repro watch`` (see repro.obs.live).
+        """
         return {
             "submitted": self._submitted,
             "admitted": self._admitted,
@@ -312,6 +331,19 @@ class ServeServer:
             "epochs_executed": len(self.pipeline.spans),
             "end_cycles": self.executor.clock,
             "uptime_s": round(time.monotonic() - self._started, 3),
+            "window": self._latency_window.snapshot(),
+            "pipeline": {
+                "in_flight": self.pipeline.in_flight,
+                "depth": self.pipeline.pipeline_depth,
+                "staged": self.pipeline.staged,
+            },
+            "admission": {
+                "pending": self._pending,
+                "queue_limit": self.serve.queue_limit,
+                "rejected": self._rejected,
+            },
+            "epochs_by_reason": dict(self.batcher.closed_by_reason),
+            "metrics": self.metrics.to_dict(),
         }
 
     def summary(self) -> dict:

@@ -48,6 +48,7 @@ from ..common.stats import Counters
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultEvent
 from ..faults.policies import make_policy
+from ..obs.prof import ProfiledTracer, Profiler
 from ..obs.tracing import TraceEvent, Tracer
 from ..storage.database import Database
 from ..txn.operation import Key, OpKind
@@ -56,6 +57,21 @@ from ..txn.transaction import Transaction
 #: Hard cap on per-transaction retries; hitting it means the protocol
 #: livelocked, which the test suite treats as a bug.
 MAX_RETRIES = 10_000
+
+#: Profiler section charged for a step event, keyed by the phase the
+#: thread is in when the event pops (spurious wakeups of parked phases
+#: are loop bookkeeping, not engine work).
+_PHASE_SECTIONS = {
+    "dispatch": "engine.dispatch",
+    "op": "engine.op",
+    "precommit": "engine.precommit",
+    "commit": "engine.commit",
+    "finish": "engine.finish",
+    "idle": "engine.loop",
+    "blocked": "engine.loop",
+    "gated": "engine.loop",
+    "crashed": "engine.loop",
+}
 
 
 @dataclass
@@ -225,6 +241,7 @@ class MulticoreEngine:
         history: Optional[list] = None,
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultInjector] = None,
+        prof: Optional[Profiler] = None,
     ):
         self.config = config
         self.db = db if db is not None else Database()
@@ -264,6 +281,23 @@ class MulticoreEngine:
         #: Optional fault-timeline cursor (repro.faults); an injector over
         #: an empty plan is inert and leaves the run byte-identical.
         self.faults = faults
+        #: Optional section profiler (repro.obs.prof).  Same contract as
+        #: the tracer: every touch is behind one ``is not None`` check and
+        #: nothing here reads the virtual clock or any RNG stream, so a
+        #: profiled run schedules bit-identically to an unprofiled one.
+        self.prof = prof
+        if prof is not None and self.tracer is not None:
+            # Account tracer emission time to ``obs.trace`` so tracing
+            # overhead shows up in the self-time table instead of
+            # polluting whichever engine section emitted the event.
+            self.tracer = ProfiledTracer(self.tracer, prof)
+        cc = self.protocol.name
+        self._sec_cc_begin = f"cc.{cc}.begin"
+        self._sec_cc_access = f"cc.{cc}.access"
+        self._sec_cc_precommit = f"cc.{cc}.precommit"
+        self._sec_cc_validate = f"cc.{cc}.validate"
+        self._sec_cc_install = f"cc.{cc}.install"
+        self._sec_cc_cleanup = f"cc.{cc}.cleanup"
         self._events: list[tuple[int, int, int]] = []
         self._seq = 0
         self._txn_seq = 0
@@ -355,6 +389,11 @@ class MulticoreEngine:
             heapq.heappush(self._events, (when, self._seq, thread_id))
 
         end_time = start_time
+        prof = self.prof
+        if prof is not None:
+            # Heap pops, seq guards, and everything not attributed to a
+            # finer section below lands in ``engine.loop`` self-time.
+            prof.push("engine.loop")
         while self._events:
             # Lazily interleave the fault timeline: fire every injected
             # fault stamped at or before the next engine event.  Faults
@@ -364,21 +403,38 @@ class MulticoreEngine:
                 ev = self.faults.pop_due(self._events[0][0])
                 if ev is not None:
                     self._now = max(ev.when, self._now)
-                    self._apply_fault(ev, self._now)
+                    if prof is None:
+                        self._apply_fault(ev, self._now)
+                    else:
+                        prof.push("faults.apply")
+                        self._apply_fault(ev, self._now)
+                        prof.pop()
                     continue
             when, seq, thread_id = heapq.heappop(self._events)
             self._now = when
             end_time = max(end_time, when)
             payload = self._arrival_payload.pop(seq, None)
             if payload is not None:
-                self._handle_arrival(payload[0], payload[1], when)
+                if prof is None:
+                    self._handle_arrival(payload[0], payload[1], when)
+                else:
+                    prof.push("engine.arrival")
+                    self._handle_arrival(payload[0], payload[1], when)
+                    prof.pop()
             else:
                 thread = self._threads[thread_id]
                 # A mismatched seq means this event was superseded by a
                 # fault; with no faults the single-outstanding-event
                 # invariant makes the guard a no-op.
                 if seq == thread.pending_seq:
-                    self._step(thread, when)
+                    if prof is None:
+                        self._step(thread, when)
+                    else:
+                        prof.push(_PHASE_SECTIONS[thread.phase])
+                        self._step(thread, when)
+                        prof.pop()
+        if prof is not None:
+            prof.pop()
 
         stuck = [t for t in self._threads if t.phase in ("blocked", "gated")]
         if stuck:
@@ -464,8 +520,19 @@ class MulticoreEngine:
             return
         txn = thread.buffer.popleft()
         cost = self.config.dispatch_cost
+        prof = self.prof
+        if prof is not None:
+            prof.add_vcycles("engine.dispatch", cost)
         if self.dispatch_filter is not None:
-            defer, filter_cost = self.dispatch_filter.filter(thread.id, txn, now)
+            if prof is None:
+                defer, filter_cost = self.dispatch_filter.filter(
+                    thread.id, txn, now)
+            else:
+                prof.push("tsdefer.filter")
+                defer, filter_cost = self.dispatch_filter.filter(
+                    thread.id, txn, now)
+                prof.pop()
+                prof.add_vcycles("tsdefer.filter", filter_cost)
             cost += filter_cost
             if defer and thread.buffer:
                 thread.buffer.append(txn)
@@ -497,13 +564,24 @@ class MulticoreEngine:
 
     def _do_op(self, thread: _Thread, now: int) -> None:
         active = thread.active
+        prof = self.prof
         if active.op_index == 0 and "_begun" not in active.ctx:
             # Attempt start: snapshot-taking protocols refresh here, so a
             # retry never re-reads from a stale snapshot.
             active.ctx["_begun"] = True
-            self.protocol.begin(active, now)
+            if prof is None:
+                self.protocol.begin(active, now)
+            else:
+                prof.push(self._sec_cc_begin)
+                self.protocol.begin(active, now)
+                prof.pop()
         op = active.txn.ops[active.op_index]
-        result = self.protocol.on_access(active, op, now)
+        if prof is None:
+            result = self.protocol.on_access(active, op, now)
+        else:
+            prof.push(self._sec_cc_access)
+            result = self.protocol.on_access(active, op, now)
+            prof.pop()
         if result.status is AccessStatus.ABORT:
             self._abort(thread, now, reason=result.reason or "access conflict")
             return
@@ -529,6 +607,9 @@ class MulticoreEngine:
                 {"op": active.op_index, "key": repr(key),
                  "rw": "w" if op.is_write else "r"}))
         active.op_index += 1
+        if prof is not None:
+            prof.add_vcycles("engine.op",
+                             self.config.op_cost + self.config.cc_op_overhead)
         op_done = now + self.config.op_cost + self.config.cc_op_overhead
         if active.op_index < len(active.txn.ops):
             self._schedule(op_done, thread.id)
@@ -545,21 +626,42 @@ class MulticoreEngine:
         if self.tracer is not None:
             self.tracer.emit(TraceEvent(now, thread.id, "validate",
                                         thread.active.txn.tid))
-        if not self.protocol.pre_commit(thread.active, now):
+        prof = self.prof
+        if prof is None:
+            ok = self.protocol.pre_commit(thread.active, now)
+        else:
+            prof.push(self._sec_cc_precommit)
+            ok = self.protocol.pre_commit(thread.active, now)
+            prof.pop()
+        if not ok:
             self._abort(thread, now, reason="pre-commit lock conflict")
             return
         thread.phase = "commit"
+        if prof is not None:
+            prof.add_vcycles("engine.commit", self.config.commit_overhead)
         self._schedule(now + self.config.commit_overhead, thread.id)
 
     def _do_commit(self, thread: _Thread, now: int) -> None:
         active = thread.active
-        if not self.protocol.on_commit(active, now):
+        prof = self.prof
+        if prof is None:
+            ok = self.protocol.on_commit(active, now)
+        else:
+            prof.push(self._sec_cc_validate)
+            ok = self.protocol.on_commit(active, now)
+            prof.pop()
+        if not ok:
             self._abort(thread, now, reason="validation failed")
             return
         # Validation passed: install atomically at this instant.
         if self.record_history:
             reads = tuple(sorted(active.reads_log.items(), key=lambda kv: repr(kv[0])))
-        self.protocol.install(active, now)
+        if prof is None:
+            self.protocol.install(active, now)
+        else:
+            prof.push(self._sec_cc_install)
+            self.protocol.install(active, now)
+            prof.pop()
         if self.apply_writes:
             self._apply_writes(active)
         if self.record_history:
@@ -580,12 +682,19 @@ class MulticoreEngine:
         stall = active.txn.io_delay_cycles
         if self.faults is not None:
             stall += self.faults.io_extra(now)
+        if prof is not None:
+            prof.add_vcycles("engine.finish", stall)
         self._schedule(now + stall, thread.id)
 
     def _do_finish(self, thread: _Thread, now: int) -> None:
         active = thread.active
         # Strict through the commit stall: locks release only now.
-        self.protocol.cleanup(active, True, now)
+        if self.prof is None:
+            self.protocol.cleanup(active, True, now)
+        else:
+            self.prof.push(self._sec_cc_cleanup)
+            self.protocol.cleanup(active, True, now)
+            self.prof.pop()
         if self.progress_hooks is not None:
             self.progress_hooks.on_commit(thread.id, active.txn, now)
         if self.faults is not None:
@@ -611,8 +720,25 @@ class MulticoreEngine:
         self._schedule(now, thread.id)
 
     def _abort(self, thread: _Thread, now: int, reason: str = "") -> None:
+        prof = self.prof
+        if prof is None:
+            self._abort_now(thread, now, reason)
+            return
+        # Wrapper keeps the section stack balanced across the body's
+        # multiple return paths.
+        prof.push("engine.abort")
+        self._abort_now(thread, now, reason)
+        prof.pop()
+
+    def _abort_now(self, thread: _Thread, now: int, reason: str = "") -> None:
         active = thread.active
-        self.protocol.cleanup(active, False, now)
+        prof = self.prof
+        if prof is None:
+            self.protocol.cleanup(active, False, now)
+        else:
+            prof.push(self._sec_cc_cleanup)
+            self.protocol.cleanup(active, False, now)
+            prof.pop()
         self._counters.aborts += 1
         self._counters.wasted_cycles += now - active.attempt_start
         active.attempt += 1
@@ -644,6 +770,8 @@ class MulticoreEngine:
             self._requeue(restart, target, active.txn)
             self._schedule(now, thread.id)
             return
+        if prof is not None:
+            prof.add_vcycles("engine.abort", max(0, restart - now))
         active.reset_attempt(restart)
         thread.phase = "op"
         self._schedule(restart, thread.id)

@@ -75,6 +75,47 @@ class TestObservability:
         assert code == 0
         assert "txn/s" in out and "engine.committed" in out
 
+    def test_report_unknown_schema_exits_2(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "future.json"
+        bad.write_text(json.dumps({"schema": "repro.run/99", "run": {}}))
+        code = main(["report", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown artifact version" in captured.err
+        assert "repro.run/1" in captured.err  # tells the user what we speak
+
+    def test_run_profile_prints_self_time_table(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        code, out = run_cli(capsys, "run", *SMALL, "--system", "tskd-cc",
+                            "--profile", "--export-json", str(out_path))
+        assert code == 0
+        assert "== profile (wall mode)" in out
+        assert "engine.op" in out and "cc.occ.access" in out
+        from repro.obs import load_artifact
+
+        doc = load_artifact(out_path)
+        sections = doc["profile"]["sections"]
+        attributed = sum(s["wall_ns"] for s in sections.values())
+        assert attributed >= 0.95 * doc["profile"]["total_wall_ns"]
+
+    def test_trace_chrome_conversion(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "run.trace.jsonl"
+        chrome_path = tmp_path / "run.chrome.json"
+        run_cli(capsys, "run", *SMALL, "--system", "dbcc",
+                "--trace", str(trace_path))
+        code, out = run_cli(capsys, "trace", str(trace_path),
+                            "--chrome", str(chrome_path))
+        assert code == 0
+        assert "chrome trace:" in out
+        from repro.obs import validate_chrome_events
+
+        doc = json.loads(chrome_path.read_text())
+        assert validate_chrome_events(doc["traceEvents"]) is None
+
 
 class TestCompare:
     def test_default_system_set(self, capsys):

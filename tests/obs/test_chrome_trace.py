@@ -1,0 +1,131 @@
+"""Chrome trace-event export: structure, validity, serve-epoch tracks."""
+
+import json
+
+from repro.bench.runner import make_system, run_system
+from repro.bench.workloads import YcsbGenerator
+from repro.common.config import ExperimentConfig, SimConfig, YcsbConfig
+from repro.obs.chrome import (
+    ENGINE_PID,
+    PIPELINE_PID,
+    chrome_from_serve_epochs,
+    chrome_trace_doc,
+    chrome_trace_events,
+    validate_chrome_events,
+    write_chrome_trace,
+)
+from repro.obs.tracing import ListTracer, TraceEvent
+
+EXP = ExperimentConfig(sim=SimConfig(num_threads=4), bundle_size=100, seed=5)
+
+
+def traced_run(system="tskd-cc", n=100):
+    gen = YcsbGenerator(YcsbConfig(num_records=20_000, theta=0.85), seed=5)
+    tracer = ListTracer()
+    result = run_system(gen.make_workload(n), make_system(system), EXP,
+                        tracer=tracer)
+    return result, tracer.events
+
+
+class TestEngineConversion:
+    def test_events_validate_and_metadata_first(self):
+        _, events = traced_run()
+        trace = chrome_trace_events(events)
+        assert validate_chrome_events(trace) is None
+        metas = [e for e in trace if e["ph"] == "M"]
+        assert trace[: len(metas)] == metas and metas
+
+    def test_one_span_per_committed_txn(self):
+        result, events = traced_run()
+        trace = chrome_trace_events(events)
+        txn_spans = [e for e in trace
+                     if e["ph"] == "X" and e["pid"] == ENGINE_PID
+                     and e["name"].startswith("T")]
+        assert len(txn_spans) == result.committed
+        assert all(e["dur"] >= 0 for e in txn_spans)
+
+    def test_aborts_become_instants(self):
+        result, events = traced_run()
+        trace = chrome_trace_events(events)
+        aborts = [e for e in trace if e["ph"] == "i" and e["name"] == "abort"]
+        assert len(aborts) == result.retries
+        assert all(e["s"] == "t" for e in aborts)
+
+    def test_include_ops_adds_op_instants(self):
+        _, events = traced_run(n=40)
+        lean = chrome_trace_events(events)
+        fat = chrome_trace_events(events, include_ops=True)
+        assert len(fat) > len(lean)
+        assert any(e["name"] == "op" for e in fat)
+        assert not any(e["name"] == "op" for e in lean)
+        assert validate_chrome_events(fat) is None
+
+    def test_dangling_spans_closed_at_max_t(self):
+        events = [
+            TraceEvent(t=100, thread=0, kind="dispatch", tid=1),
+            TraceEvent(t=900, thread=0, kind="commit", tid=1),
+            # tid 1 never finishes: span must still close
+        ]
+        trace = chrome_trace_events(events)
+        assert validate_chrome_events(trace) is None
+        spans = [e for e in trace if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["ts"] + spans[0]["dur"] <= 900 / 2000 * 1e3 + 1e-9
+
+    def test_epoch_events_land_on_pipeline_track(self):
+        events = [
+            TraceEvent(t=0, thread=0, kind="dispatch", tid=1),
+            TraceEvent(t=500, thread=0, kind="finish", tid=1),
+            TraceEvent(t=500, thread=0, kind="epoch", tid=-1,
+                       attrs={"epoch": 0, "start_cycles": 0,
+                              "committed": 1, "aborts": 0}),
+        ]
+        trace = chrome_trace_events(events)
+        assert validate_chrome_events(trace) is None
+        epochs = [e for e in trace if e["pid"] == PIPELINE_PID
+                  and e["ph"] == "X"]
+        assert len(epochs) == 1
+        assert epochs[0]["args"]["committed"] == 1
+
+
+class TestServeEpochConversion:
+    def test_schedule_and_execute_tracks(self):
+        def span(epoch, base):
+            return {"epoch": epoch, "size": 8, "reason": "deadline",
+                    "committed": 8, "aborts": 1, "opened_at": base,
+                    "closed_at": base + 0.001,
+                    "sched_start": base + 0.001, "sched_end": base + 0.003,
+                    "exec_start": base + 0.003, "exec_end": base + 0.008}
+
+        epochs = [span(0, 10.0), span(1, 10.02)]
+        trace = chrome_from_serve_epochs(epochs)
+        assert validate_chrome_events(trace) is None
+        sched = [e for e in trace if e["ph"] == "X" and e["tid"] == 0]
+        execd = [e for e in trace if e["ph"] == "X" and e["tid"] == 1]
+        assert len(sched) == 2 and len(execd) == 2
+        # Relative to the first epoch's open: no negative timestamps.
+        assert min(e["ts"] for e in trace if e["ph"] == "X") >= 0
+
+
+class TestDocAndFile:
+    def test_write_and_reload(self, tmp_path):
+        _, events = traced_run(n=30)
+        out = tmp_path / "t.chrome.json"
+        write_chrome_trace(str(out), chrome_trace_events(events))
+        doc = json.loads(out.read_text())
+        assert {"traceEvents", "displayTimeUnit"} <= set(doc)
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_chrome_events(doc["traceEvents"]) is None
+
+    def test_doc_shape(self):
+        doc = chrome_trace_doc([])
+        assert doc["traceEvents"] == []
+
+    def test_validator_rejects_bad_events(self):
+        assert validate_chrome_events([{"ph": "X"}]) is not None
+        assert validate_chrome_events(
+            [{"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": -1,
+              "dur": 1}]) is not None
+        assert validate_chrome_events(
+            [{"name": "a", "ph": "Z", "pid": 0, "tid": 0, "ts": 0}]
+        ) is not None

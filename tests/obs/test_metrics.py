@@ -134,3 +134,76 @@ class TestRunPopulation:
         first = reg.value("engine.committed")
         run_system(small_ycsb, "dbcc", small_exp, metrics=reg)
         assert reg.value("engine.committed") == 2 * first
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        from repro.obs.metrics import P2Quantile
+
+        q = P2Quantile(0.5)
+        assert q.value() is None
+        for v in (5.0, 1.0, 3.0):
+            q.observe(v)
+        assert q.value() == 3.0  # sorted-rank median of 3 samples
+
+    def test_converges_on_uniform_stream(self):
+        from repro.common.rng import Rng
+        from repro.obs.metrics import P2Quantile
+
+        rng = Rng(7)
+        q50, q99 = P2Quantile(0.5), P2Quantile(0.99)
+        for _ in range(20_000):
+            v = rng.random() * 100.0
+            q50.observe(v)
+            q99.observe(v)
+        assert abs(q50.value() - 50.0) < 2.0
+        assert abs(q99.value() - 99.0) < 1.5
+
+    def test_deterministic_across_runs(self):
+        from repro.obs.metrics import P2Quantile
+
+        def run():
+            q = P2Quantile(0.95)
+            for i in range(1_000):
+                q.observe(float((i * 37) % 101))
+            return q.value()
+
+        assert run() == run()
+
+    def test_rejects_bad_quantile(self):
+        from repro.obs.metrics import P2Quantile
+
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestHistogramStreamingQuantiles:
+    def test_estimates_ride_in_to_dict(self):
+        h = Histogram("h", bounds=(10, 100, 1000))
+        h.observe_many(list(range(1, 101)))
+        doc = h.to_dict()
+        assert "quantiles" in doc
+        assert abs(doc["quantiles"]["p50"] - 50.0) < 5.0
+        assert doc["quantiles"]["p99"] <= 100.0
+        # The bucketed quantile stays untouched by the estimators.
+        assert h.quantile(0.5) == 100
+
+    def test_empty_histogram_omits_quantiles(self):
+        assert "quantiles" not in Histogram("h", bounds=(10,)).to_dict()
+
+    def test_roundtrip_carries_quantiles_statically(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (10, 100)).observe_many(
+            [float(v) for v in range(1, 21)])
+        doc = reg.to_dict()
+        clone = MetricsRegistry.from_dict(doc)
+        # The raw samples are gone, but the snapshot estimates survive a
+        # roundtrip byte-identically (report renders saved artifacts).
+        assert clone.to_dict() == doc
+        # A merge invalidates the carried snapshot: it no longer
+        # describes the summed population.
+        merged = MetricsRegistry.from_dict(doc)
+        merged.merge(clone)
+        assert "quantiles" not in merged.to_dict()["histograms"]["h"]
