@@ -32,6 +32,7 @@ from ..obs.prof import Profiler, get_active_profiler
 from ..obs.tracing import Tracer
 from ..partition.base import Partitioner
 from ..sim.engine import MulticoreEngine
+from ..sim.fastengine import make_engine
 from ..sim.warmup import warm_up_history
 from ..txn.conflict_graph import ConflictGraph
 from ..txn.cost import CostModel
@@ -194,7 +195,7 @@ def run_system(
 
         enforcer = ScheduleEnforcer(schedule, graph)
         free_sim = sim.with_(cc="none", cc_op_overhead=0, commit_overhead=0)
-        gate_engine = MulticoreEngine(
+        gate_engine = make_engine(
             free_sim, db=db, dispatch_gate=enforcer, progress_hooks=enforcer,
             record_history=record_history, tracer=tracer, prof=prof,
         )
@@ -221,7 +222,7 @@ def run_system(
     # queue phase upholds a precomputed precedence schedule whose gating
     # assumes fixed thread placement, so chaos there would test the
     # enforcer's bookkeeping rather than the protocols under study.
-    engine = MulticoreEngine(
+    engine = make_engine(
         sim,
         dispatch_filter=dispatch_filter,
         progress_hooks=progress_hooks,

@@ -129,8 +129,10 @@ class CCProtocol:
         The default bumps the shared version counter of every written key;
         timestamp protocols override to maintain their own words too.
         """
+        versions = self.versions
+        versions_get = versions.get
         for key in active.write_buffer:
-            self.versions[key] = self.versions.get(key, 0) + 1
+            versions[key] = versions_get(key, 0) + 1
 
     def cleanup(self, active: "ActiveTxn", committed: bool, now: int) -> None:
         """Release per-attempt protocol state (locks, ...)."""

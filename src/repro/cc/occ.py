@@ -32,8 +32,9 @@ class OccProtocol(CCProtocol):
         return ACCESS_OK
 
     def on_commit(self, active: "ActiveTxn", now: int) -> bool:
+        versions_get = self.versions.get
         for key, seen in active.observed.items():
-            if self.versions.get(key, 0) != seen:
+            if versions_get(key, 0) != seen:
                 self.contended += 1
                 self.validation_failures += 1
                 return False

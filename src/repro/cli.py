@@ -55,6 +55,7 @@ from .bench.workloads import (
     apply_runtime_skew,
 )
 from .common.config import (
+    ENGINES,
     RESTART_POLICIES,
     SERVE_ASSIGNMENTS,
     ConfigError,
@@ -121,6 +122,9 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="initial backoff span in cycles (policy=backoff)")
     p.add_argument("--backoff-cap", type=int, default=200_000,
                    help="max backoff span in cycles (policy=backoff)")
+    p.add_argument("--engine", choices=ENGINES, default="fast",
+                   help="DES event-loop implementation; both are "
+                        "bit-identical (repro.sim.fastengine)")
 
 
 def _build(args) -> tuple:
@@ -128,7 +132,8 @@ def _build(args) -> tuple:
         sim=SimConfig(num_threads=args.threads, cc=args.cc,
                       restart_policy=args.restart_policy,
                       backoff_base=args.backoff_base,
-                      backoff_cap=args.backoff_cap),
+                      backoff_cap=args.backoff_cap,
+                      engine=args.engine),
         skew=None if args.no_skew else RuntimeSkewConfig(),
         io=IoLatencyConfig(l_io=args.io),
         bundle_size=args.bundle,
@@ -169,7 +174,7 @@ def _run_open_system(workload, exp, args, tracer, prof=None):
     from .common.rng import Rng
     from .common.stats import RunResult, percentile
     from .core.tskd import TSKD
-    from .sim.engine import MulticoreEngine
+    from .sim.fastengine import make_engine
     from .sim.stream import run_open_system
 
     system = _make_system(args.system)
@@ -184,8 +189,8 @@ def _run_open_system(workload, exp, args, tracer, prof=None):
         filt = system.make_filter(k, rng=rng.fork(3))
     elif not isinstance(system, str):
         raise SystemExit("--offered-tps supports dbcc or tskd-cc only")
-    engine = MulticoreEngine(exp.sim, dispatch_filter=filt,
-                             progress_hooks=filt, tracer=tracer, prof=prof)
+    engine = make_engine(exp.sim, dispatch_filter=filt,
+                         progress_hooks=filt, tracer=tracer, prof=prof)
     if filt is not None:
         filt.table.bind_buffers(engine.buffer_of)
         if prof is not None:
@@ -517,7 +522,8 @@ async def _serve_main(serve_cfg: ServeConfig, exp: ExperimentConfig,
 def cmd_serve(args) -> int:
     serve_cfg = _build_serve_config(args)
     exp = ExperimentConfig(
-        sim=SimConfig(num_threads=args.threads, cc=args.cc),
+        sim=SimConfig(num_threads=args.threads, cc=args.cc,
+                      engine=args.engine),
         skew=None,
         seed=args.seed,
     )
@@ -578,11 +584,16 @@ def cmd_watch(args) -> int:
 
 
 def cmd_perf(args) -> int:
-    from .bench.perf import render_bench, run_perf
+    from .bench.perf import compare_bench, load_bench, render_bench, run_perf
 
     path, doc = run_perf(quick=args.quick, out_dir=args.out, rev=args.rev)
     print(render_bench(doc))
     print(f"wrote {path}")
+    if args.compare is not None:
+        ok, report = compare_bench(doc, load_bench(args.compare))
+        print(report)
+        if not ok:
+            return 1
     return 0
 
 
@@ -666,6 +677,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_srv.add_argument("--threads", type=int, default=8)
     p_srv.add_argument("--cc", default="occ",
                        help="CC protocol the engine runs underneath")
+    p_srv.add_argument("--engine", choices=ENGINES, default="fast",
+                       help="DES event-loop implementation")
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--epoch-max-txns", type=int, default=256,
                        help="close the epoch at this many transactions")
@@ -775,6 +788,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="directory the BENCH_<rev>.json lands in")
     p_perf.add_argument("--rev", default=None,
                         help="revision label (default: git short rev)")
+    p_perf.add_argument("--compare", default=None, metavar="BASE.json",
+                        help="gate against a committed baseline: exit "
+                             "non-zero on >20%% wall/txn regression in "
+                             "any sim case")
     p_perf.set_defaults(func=cmd_perf)
 
     args = parser.parse_args(argv)

@@ -39,6 +39,11 @@ MIN_IO_CYCLES = 5_000
 #: Restart policies the engine can apply after an abort (repro.faults.policies).
 RESTART_POLICIES = ("immediate", "backoff", "defer_coldest")
 
+#: DES engine implementations (repro.sim.make_engine).  "fast" is the
+#: flattened batched-advance loop, "reference" the didactic oracle; the
+#: two are bit-identical (tests/sim/test_engine_differential.py).
+ENGINES = ("fast", "reference")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -77,8 +82,15 @@ class SimConfig:
     #: attempt until it saturates at ``backoff_cap``.
     backoff_base: int = 2_000
     backoff_cap: int = 200_000
+    #: Which event-loop implementation executes the run ("fast" or
+    #: "reference").  Both produce byte-identical artifacts; "reference"
+    #: is retained as the oracle the differential suite checks against.
+    engine: str = "fast"
 
     def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}")
         if self.num_threads <= 0:
             raise ConfigError(f"num_threads must be positive, got {self.num_threads}")
         if self.op_cost <= 0:

@@ -9,6 +9,7 @@ paper's workload extensions rely on.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterable, Sequence, TypeVar
 
@@ -59,6 +60,41 @@ class Rng:
         """Sample ``min(n, len(seq))`` distinct elements."""
         n = min(n, len(seq))
         return self._r.sample(seq, n)
+
+    def sample_indices(self, n: int, k: int) -> list[int]:
+        """Draw-for-draw equivalent of ``sample(range(n), k)``.
+
+        The progress table issues this draw on every probe, against every
+        remote thread, so the per-call overhead of ``random.sample`` (ABC
+        dispatch, population copy) is hot.  This reimplements CPython's
+        selection algorithm verbatim — partial-shuffle pool below the
+        documented setsize cutover, set-based rejection above it — so the
+        stream of underlying ``getrandbits`` draws, and hence every
+        artifact digest, is bit-identical to the generic call.  Guarded
+        against stdlib drift by tests/property/test_prop_structures.py.
+        """
+        k = min(k, n)
+        randbelow = self._r._randbelow
+        result = [0] * k
+        setsize = 21  # size of a small set minus size of an empty list
+        if k > 5:
+            setsize += 4 ** math.ceil(math.log(k * 3, 4))
+        if n <= setsize:
+            pool = list(range(n))
+            for i in range(k):
+                j = randbelow(n - i)
+                result[i] = pool[j]
+                pool[j] = pool[n - i - 1]
+        else:
+            selected: set[int] = set()
+            selected_add = selected.add
+            for i in range(k):
+                j = randbelow(n)
+                while j in selected:
+                    j = randbelow(n)
+                selected_add(j)
+                result[i] = j
+        return result
 
     def uniform(self, lo: float, hi: float) -> float:
         return self._r.uniform(lo, hi)

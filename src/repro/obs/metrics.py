@@ -58,12 +58,14 @@ class P2Quantile:
         self._incr = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
 
     def observe(self, x: float) -> None:
-        if not self._heights:
-            self._init.append(x)
-            if len(self._init) == 5:
-                self._heights = sorted(self._init)
+        h = self._heights
+        if not h:
+            init = self._init
+            init.append(x)
+            if len(init) == 5:
+                self._heights = sorted(init)
             return
-        h, n = self._heights, self._positions
+        n = self._positions
         if x < h[0]:
             h[0] = x
             k = 0
@@ -76,18 +78,52 @@ class P2Quantile:
                 k += 1
         for i in range(k + 1, 5):
             n[i] += 1
-        for i in range(5):
-            self._desired[i] += self._incr[i]
+        desired = self._desired
+        incr = self._incr
+        # desired[0] accrues +0.0 and desired[4] is never read by the
+        # adjustment below, so only the middle markers need updating.
+        desired[1] += incr[1]
+        desired[2] += incr[2]
+        desired[3] += incr[3]
+        desired[4] += 1.0
+        # Marker adjustment, unrolled with _parabolic/_linear inlined —
+        # this runs for every observation past the fifth, so the method
+        # dispatch and repeated list indexing were the dominant cost.
+        # The arithmetic (and its evaluation order) is exactly that of
+        # the original helper expressions, so heights stay bit-identical.
         for i in (1, 2, 3):
-            d = self._desired[i] - n[i]
-            if ((d >= 1.0 and n[i + 1] - n[i] > 1)
-                    or (d <= -1.0 and n[i - 1] - n[i] < -1)):
-                s = 1 if d >= 1.0 else -1
-                cand = self._parabolic(i, s)
-                if not h[i - 1] < cand < h[i + 1]:
-                    cand = self._linear(i, s)
-                h[i] = cand
-                n[i] += s
+            ni = n[i]
+            d = desired[i] - ni
+            if d >= 1.0:
+                nip = n[i + 1]
+                if nip - ni > 1:
+                    nim = n[i - 1]
+                    hi = h[i]
+                    hip = h[i + 1]
+                    him = h[i - 1]
+                    cand = hi + 1 / (nip - nim) * (
+                        (ni - nim + 1) * (hip - hi) / (nip - ni)
+                        + (nip - ni - 1) * (hi - him) / (ni - nim)
+                    )
+                    if not him < cand < hip:
+                        cand = hi + (hip - hi) / (nip - ni)
+                    h[i] = cand
+                    n[i] = ni + 1
+            elif d <= -1.0:
+                nim = n[i - 1]
+                if nim - ni < -1:
+                    nip = n[i + 1]
+                    hi = h[i]
+                    hip = h[i + 1]
+                    him = h[i - 1]
+                    cand = hi + -1 / (nip - nim) * (
+                        (ni - nim - 1) * (hip - hi) / (nip - ni)
+                        + (nip - ni + 1) * (hi - him) / (ni - nim)
+                    )
+                    if not him < cand < hip:
+                        cand = hi + -1 * (him - hi) / (nim - ni)
+                    h[i] = cand
+                    n[i] = ni - 1
 
     def _parabolic(self, i: int, s: int) -> float:
         h, n = self._heights, self._positions
@@ -173,8 +209,22 @@ class Histogram:
             est.observe(value)
 
     def observe_many(self, values: Iterable[Number]) -> None:
+        # Bulk path for registry population: same per-value work as
+        # observe() with the lookups hoisted out of the loop.
+        bounds = self.bounds
+        counts = self.counts
+        bl = bisect_left
+        observers = tuple(est.observe for est in self._estimators.values())
+        total = 0
+        acc = 0.0
         for v in values:
-            self.observe(v)
+            counts[bl(bounds, v)] += 1
+            total += 1
+            acc += v
+            for ob in observers:
+                ob(v)
+        self.total += total
+        self.sum += acc
 
     @property
     def mean(self) -> float:

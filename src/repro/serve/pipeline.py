@@ -36,6 +36,7 @@ from ..common.config import TSDEFER_DISABLED, ExperimentConfig, ServeConfig
 from ..common.rng import Rng
 from ..core.tskd import TSKD, ExecutionPlan
 from ..sim.engine import MulticoreEngine, PhaseResult
+from ..sim.fastengine import make_engine
 from ..sim.stream import assign_least_loaded
 from ..storage.database import Database
 from ..sim.warmup import dry_run_cost
@@ -154,7 +155,7 @@ class EpochExecutor:
         #: epoch, and execute() adds one "epoch" event per epoch so the
         #: Chrome exporter can draw the epoch track (repro trace --chrome).
         self.tracer = tracer
-        self.engine = MulticoreEngine(
+        self.engine = make_engine(
             exp.sim,
             db=self.db,
             dispatch_filter=tsdefer,

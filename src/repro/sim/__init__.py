@@ -9,6 +9,7 @@ from .engine import (
     PhaseResult,
     ProgressHooks,
 )
+from .fastengine import FastEngine, make_engine
 from .history import (
     assert_serializable,
     assert_snapshot_consistent,
@@ -34,6 +35,8 @@ __all__ = [
     "assign_least_loaded",
     "CommittedRecord",
     "DispatchFilter",
+    "FastEngine",
+    "make_engine",
     "MulticoreEngine",
     "OpenSystemResult",
     "PhaseResult",

@@ -388,6 +388,31 @@ class MulticoreEngine:
             self._arrived_at[txn.tid] = when
             heapq.heappush(self._events, (when, self._seq, thread_id))
 
+        end_time = self._drain(start_time)
+
+        stuck = [t for t in self._threads if t.phase in ("blocked", "gated")]
+        if stuck:
+            raise SimulationError(
+                f"threads {[t.id for t in stuck]} still "
+                f"{self._threads[stuck[0].id].phase} at end of phase"
+            )
+        return PhaseResult(
+            start_time=start_time,
+            end_time=end_time,
+            counters=self._counters,
+            thread_busy=tuple(t.busy for t in self._threads),
+            latencies=tuple(self._latencies),
+            retry_counts=tuple(self._retry_counts),
+        )
+
+    def _drain(self, start_time: int) -> int:
+        """Pop events until the heap is empty; return the last event time.
+
+        This is the engine's entire inner loop, factored out so that
+        :class:`repro.sim.fastengine.FastEngine` can substitute a
+        flattened implementation while inheriting setup, teardown, and
+        every per-phase handler unchanged.
+        """
         end_time = start_time
         prof = self.prof
         if prof is not None:
@@ -435,21 +460,7 @@ class MulticoreEngine:
                         prof.pop()
         if prof is not None:
             prof.pop()
-
-        stuck = [t for t in self._threads if t.phase in ("blocked", "gated")]
-        if stuck:
-            raise SimulationError(
-                f"threads {[t.id for t in stuck]} still "
-                f"{self._threads[stuck[0].id].phase} at end of phase"
-            )
-        return PhaseResult(
-            start_time=start_time,
-            end_time=end_time,
-            counters=self._counters,
-            thread_busy=tuple(t.busy for t in self._threads),
-            latencies=tuple(self._latencies),
-            retry_counts=tuple(self._retry_counts),
-        )
+        return end_time
 
     # ------------------------------------------------------------------
     # event machinery

@@ -34,11 +34,14 @@ class ConflictGraph:
         self._readers: dict = defaultdict(list)
         self._writers: dict = defaultdict(list)
         self._neighbor_cache: dict[int, frozenset[int]] = {}
+        readers = self._readers
+        writers = self._writers
         for t in transactions:
+            tid = t.tid
             for key in t.read_set:
-                self._readers[key].append(t.tid)
+                readers[key].append(tid)
             for key in t.write_set:
-                self._writers[key].append(t.tid)
+                writers[key].append(tid)
 
     def __contains__(self, tid: int) -> bool:
         return tid in self._txns
@@ -60,15 +63,18 @@ class ConflictGraph:
             return cached
         t = self._txns[tid]
         out: set[int] = set()
+        update = out.update
+        writers_get = self._writers.get
         if self.isolation is IsolationLevel.SNAPSHOT:
             for key in t.write_set:
-                out.update(self._writers.get(key, ()))
+                update(writers_get(key, ()))
         else:
+            readers_get = self._readers.get
             for key in t.read_set:
-                out.update(self._writers.get(key, ()))
+                update(writers_get(key, ()))
             for key in t.write_set:
-                out.update(self._writers.get(key, ()))
-                out.update(self._readers.get(key, ()))
+                update(writers_get(key, ()))
+                update(readers_get(key, ()))
         out.discard(tid)
         result = frozenset(out)
         self._neighbor_cache[tid] = result

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 #: Global address of a record: (table name, primary key).
@@ -47,13 +48,18 @@ class Operation:
     key: object
     value: object = None
 
-    @property
+    # Cached (not plain) properties: the engine's hot loop reads both on
+    # every simulated access, and after the first touch each is a plain
+    # instance-dict lookup.  cached_property writes the instance __dict__
+    # directly, which sidesteps the frozen-dataclass setattr guard and
+    # keeps operations pickled by older code lazily recomputable.
+    @cached_property
     def record_key(self) -> Key:
         return (self.table, self.key)
 
-    @property
+    @cached_property
     def is_write(self) -> bool:
-        return self.kind.is_write
+        return self.kind is OpKind.WRITE or self.kind is OpKind.INSERT
 
     def __repr__(self) -> str:  # compact: W[item:42]
         return f"{self.kind.value}[{self.table}:{self.key}]"

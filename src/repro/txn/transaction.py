@@ -11,6 +11,7 @@ given seed produces identical workloads for every system under test.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Mapping, Optional
 
 from ..common.errors import WorkloadError
@@ -61,9 +62,10 @@ class Transaction:
         self.read_set = frozenset(reads)
         self.write_set = frozenset(writes)
 
-    @property
+    @cached_property
     def access_set(self) -> frozenset[Key]:
-        """All keys the transaction touches."""
+        """All keys the transaction touches (computed once, then cached —
+        TsDEFER's dispatch filter reads it on every probe check)."""
         return self.read_set | self.write_set
 
     @property

@@ -47,8 +47,18 @@ class Workload:
     def conflict_graph(
         self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE
     ) -> ConflictGraph:
-        """Build (or rebuild) the conflict graph of this workload."""
-        return ConflictGraph(self.transactions, isolation)
+        """The conflict graph of this workload, memoised per isolation.
+
+        The graph is a pure function of the (immutable) transaction set,
+        and :class:`ConflictGraph` never mutates its inputs, so repeated
+        runs over the same workload share one construction.
+        """
+        cache = self.__dict__.setdefault("_graph_cache", {})
+        graph = cache.get(isolation)
+        if graph is None:
+            graph = ConflictGraph(self.transactions, isolation)
+            cache[isolation] = graph
+        return graph
 
     def total_ops(self) -> int:
         return sum(t.num_ops for t in self.transactions)

@@ -9,7 +9,12 @@ from repro.obs.artifact import (
     ArtifactError,
     validate_bench_artifact,
 )
-from repro.bench.perf import git_rev, machine_info, render_bench
+from repro.bench.perf import (
+    compare_bench,
+    git_rev,
+    machine_info,
+    render_bench,
+)
 
 
 def bench_doc(**over) -> dict:
@@ -97,6 +102,49 @@ class TestHelpers:
         assert "perf abc1234" in text
         assert "fig5.ycsb.t08.dbcc" in text
         assert "serve" in text
+
+
+class TestCompareBench:
+    def test_identical_docs_pass(self):
+        ok, report = compare_bench(bench_doc(), bench_doc())
+        assert ok
+        assert "REGRESSION" not in report
+
+    def test_sim_regression_fails(self):
+        new = bench_doc()
+        new["cases"][0]["wall_s"] = 0.5 * 1.25  # +25% wall, same txns
+        ok, report = compare_bench(new, bench_doc())
+        assert not ok
+        assert "REGRESSION" in report
+
+    def test_within_tolerance_passes(self):
+        new = bench_doc()
+        new["cases"][0]["wall_s"] = 0.5 * 1.15
+        ok, _ = compare_bench(new, bench_doc())
+        assert ok
+
+    def test_serve_case_is_informational(self):
+        new = bench_doc()
+        new["cases"][1]["wall_s"] = 1.2 * 3.0  # serve 3x slower: no gate
+        ok, report = compare_bench(new, bench_doc())
+        assert ok
+        assert "info only" in report
+
+    def test_normalised_per_txn_gates_across_scales(self):
+        # A quick-scale run (fewer txns, proportionally less wall) must
+        # compare clean against a standard-scale baseline.
+        new = bench_doc()
+        new["cases"][0].update(wall_s=0.125, committed=100)
+        ok, _ = compare_bench(new, bench_doc())
+        assert ok
+
+    def test_unmatched_cases_reported_not_gated(self):
+        new = bench_doc()
+        new["cases"][0] = dict(new["cases"][0], name="fig9.new.case")
+        ok, report = compare_bench(new, bench_doc())
+        assert ok
+        assert "no baseline" in report
+        assert "dropped from the new run" in report
 
 
 class TestQuickRunner:

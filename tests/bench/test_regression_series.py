@@ -24,7 +24,13 @@ and say why in the commit message.
 import pytest
 
 from repro.bench.experiments import Scale, run_experiment
+from repro.bench.runner import run_system
+from repro.bench.workloads import YcsbGenerator
+from repro.common import ExperimentConfig, Rng, SimConfig, YcsbConfig
 from repro.common.hashing import config_hash
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.artifact import build_artifact
+from repro.sim import make_engine, run_open_system
 
 TINY = Scale(name="quick", bundle=48, seeds=(0, 1), threads=4,
              ycsb_records=20_000, tpcc_warehouses=4)
@@ -44,4 +50,61 @@ def test_series_payload_matches_pre_faults_golden(exp_id):
     assert config_hash(series.to_payload()) == GOLDEN[exp_id], (
         f"{exp_id} drifted from its pre-faults-layer golden digest; "
         "the faults-disabled path is supposed to be bit-identical"
+    )
+
+
+# -- engine-pinned goldens ------------------------------------------------
+#
+# The fast engine (repro.sim.fastengine) is contractually bit-identical
+# to the reference loop, so a single digest per scenario pins *both*
+# engines.  Recorded on the commit that introduced the fast engine;
+# regenerate with the recipe below the GOLDEN docstring, substituting
+# the scenario builders here.
+
+_STREAM_SIM = SimConfig(num_threads=4, cc="occ")
+
+#: Poisson open-system scenario: arrival stream, queueing, drain.
+GOLDEN_OPEN = "1161fbec769faba42d9252bfe17ac4749646d6d40da1f8970afb140929ac3a12"
+#: Chaos scenario: every fault kind enabled, backoff restarts.
+GOLDEN_CHAOS = "1718ba505ec565372574ba844328f37c9b8c8d9ccd05c7def3ff0bfeb9e11b3d"
+
+CHAOS_SPEC = FaultSpec(seed=11, spurious_aborts=3, stalls=2, crashes=1,
+                       io_spikes=2, probe_corruptions=1)
+
+
+def _stream_workload():
+    gen = YcsbGenerator(YcsbConfig(num_records=10_000, theta=0.8,
+                                   ops_per_txn=8), seed=5)
+    return gen.make_workload(120)
+
+
+@pytest.mark.parametrize("engine_name", ["fast", "reference"])
+def test_open_system_golden_both_engines(engine_name):
+    engine = make_engine(_STREAM_SIM.with_(engine=engine_name),
+                         record_history=True)
+    osr = run_open_system(engine, list(_stream_workload()),
+                          offered_tps=4_000, rng=Rng(9))
+    payload = {
+        "open": osr.to_dict(),
+        "committed": osr.phase.counters.committed,
+        "history": [(r.tid, r.commit_time) for r in engine.history],
+    }
+    assert config_hash(payload) == GOLDEN_OPEN, (
+        f"open-system run drifted under the {engine_name} engine"
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["fast", "reference"])
+def test_chaos_scenario_golden_both_engines(engine_name):
+    exp = ExperimentConfig(sim=SimConfig(num_threads=4, cc="silo",
+                                         restart_policy="backoff",
+                                         engine=engine_name))
+    plan = FaultPlan.compile(CHAOS_SPEC, 4)
+    result = run_system(_stream_workload(), "dbcc", exp, fault_plan=plan)
+    # Hash the full artifact minus the engine selector (the one field
+    # that legitimately differs between the two parametrizations).
+    norm = ExperimentConfig(sim=SimConfig(num_threads=4, cc="silo",
+                                          restart_policy="backoff"))
+    assert config_hash(build_artifact(result, config=norm)) == GOLDEN_CHAOS, (
+        f"chaos scenario drifted under the {engine_name} engine"
     )
