@@ -52,6 +52,7 @@ import os
 import re
 import tempfile
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
@@ -73,6 +74,27 @@ CELL_SCHEMA = "repro.cell/1"
 #: iterate over sets of string-keyed records, so without a fixed seed
 #: two processes can produce different (all individually valid) results.
 WORKER_HASH_SEED = "0"
+
+
+@contextmanager
+def pinned_hashseed():
+    """Pin ``PYTHONHASHSEED`` in the environment while spawning workers.
+
+    Spawned interpreters read the env at exec, so any child started
+    inside this block inherits the fixed seed; the parent's value is
+    restored on exit.  Shared by the bench spawn pool and the serving
+    cluster's shard workers (``repro.serve.shard``), which need the same
+    cross-process set-iteration determinism.
+    """
+    saved = os.environ.get("PYTHONHASHSEED")
+    os.environ["PYTHONHASHSEED"] = WORKER_HASH_SEED
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("PYTHONHASHSEED", None)
+        else:
+            os.environ["PYTHONHASHSEED"] = saved
 
 
 class CellPlanError(ReproError):
@@ -547,16 +569,9 @@ def _execute(pending, vectors, *, jobs, cache_dir, retries,
         ctx = get_context("spawn")
         # Pin the workers' hash seed so set-iteration order is identical
         # in every process; spawned interpreters read the env at exec.
-        saved = os.environ.get("PYTHONHASHSEED")
-        os.environ["PYTHONHASHSEED"] = WORKER_HASH_SEED
-        try:
+        with pinned_hashseed():
             pool = ctx.Pool(processes=jobs, initializer=_worker_init,
                             initargs=(cache_dir,))
-        finally:
-            if saved is None:
-                os.environ.pop("PYTHONHASHSEED", None)
-            else:
-                os.environ["PYTHONHASHSEED"] = saved
         with pool:
             for _attempt in range(retries + 1):
                 pending = one_round(

@@ -471,6 +471,7 @@ def _build_serve_config(args) -> ServeConfig:
             assignment=args.assignment,
             pipeline_depth=args.pipeline_depth,
             record_epoch_tids=args.record_epoch_tids,
+            shards=args.shards,
         )
     except ConfigError as e:
         raise SystemExit(str(e))
@@ -480,16 +481,26 @@ async def _serve_main(serve_cfg: ServeConfig, exp: ExperimentConfig,
                       args) -> int:
     import signal
 
-    from .serve import ServeServer
+    from .serve import ClusterServer, ServeServer
 
-    server = ServeServer(serve_cfg, exp, export_path=args.export_json,
-                         exit_on_drain=args.exit_on_drain,
-                         trace_path=args.trace)
+    if serve_cfg.shards > 1:
+        try:
+            server = ClusterServer(serve_cfg, exp,
+                                   export_path=args.export_json,
+                                   exit_on_drain=args.exit_on_drain,
+                                   trace_path=args.trace)
+        except ConfigError as e:
+            raise SystemExit(str(e))
+    else:
+        server = ServeServer(serve_cfg, exp, export_path=args.export_json,
+                             exit_on_drain=args.exit_on_drain,
+                             trace_path=args.trace)
     await server.start()
+    topology = (f", {serve_cfg.shards} shards" if serve_cfg.shards > 1 else "")
     print(f"serving {serve_cfg.system} on {serve_cfg.host}:{server.port}  "
           f"(epochs: {serve_cfg.epoch_max_txns} txns / "
           f"{serve_cfg.epoch_max_ms} ms, queue limit "
-          f"{serve_cfg.queue_limit})", flush=True)
+          f"{serve_cfg.queue_limit}{topology})", flush=True)
     loop = asyncio.get_running_loop()
     interrupted = asyncio.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -698,6 +709,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_srv.add_argument("--record-epoch-tids", action="store_true",
                        help="record per-epoch transaction ids in the "
                             "drain artifact (batch replay)")
+    p_srv.add_argument("--shards", type=int, default=1,
+                       help="engine shards; >1 runs the sharded cluster "
+                            "(one worker process per shard, cross-shard "
+                            "txns via epoch-aligned deterministic commit)")
     p_srv.add_argument("--export-json", metavar="PATH",
                        help="write a repro.serve/1 artifact on drain")
     p_srv.add_argument("--trace", metavar="PATH",

@@ -360,6 +360,14 @@ class ServeConfig:
     #: Record each epoch's transaction ids in the drain artifact so a
     #: batch run can replay the exact epoch composition.
     record_epoch_tids: bool = False
+    #: Engine shards serving the key space.  1 keeps the single-engine
+    #: :class:`~repro.serve.server.ServeServer`; N > 1 runs the sharded
+    #: cluster (:mod:`repro.serve.cluster`): each shard owns a hash
+    #: partition of the affinity-group space and runs the TSKD pipeline
+    #: against its own persistent database, with cross-shard
+    #: transactions committed through epoch-aligned deterministic order
+    #: agreement (see docs/sharding.md).
+    shards: int = 1
 
     def __post_init__(self):
         if not 0 <= self.port <= 65_535:
@@ -378,6 +386,8 @@ class ServeConfig:
                 f"choose from {SERVE_ASSIGNMENTS}")
         if self.pipeline_depth < 1:
             raise ConfigError("pipeline_depth must be >= 1")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
 
     def with_(self, **kw) -> "ServeConfig":
         return replace(self, **kw)

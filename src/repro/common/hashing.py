@@ -47,7 +47,9 @@ def canonical_payload(obj: Any) -> Any:
     if isinstance(obj, float):
         if math.isnan(obj) or math.isinf(obj):
             raise ConfigError(f"cannot canonically hash non-finite float {obj!r}")
-        return obj
+        # -0.0 == 0.0 in every comparison (dict keys included), so the
+        # canonical form must not tell them apart either.
+        return obj + 0.0
     if isinstance(obj, enum.Enum):
         return {"__enum__": type(obj).__qualname__, "name": obj.name}
     if is_dataclass(obj) and not isinstance(obj, type):

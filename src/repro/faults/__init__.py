@@ -5,7 +5,14 @@ determinism/differential contracts this package upholds.
 """
 
 from .injector import FaultInjector
-from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec, plan_for
+from .plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    ShardFailStop,
+    plan_for,
+)
 from .policies import (
     DeferColdest,
     ExponentialBackoff,
@@ -21,6 +28,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "ShardFailStop",
     "plan_for",
     "RestartDecision",
     "RestartPolicy",

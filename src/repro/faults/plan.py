@@ -100,6 +100,32 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class ShardFailStop:
+    """Fail-stop one serving-cluster shard worker mid-run.
+
+    A process-level fault for :mod:`repro.serve.cluster`: the worker for
+    ``shard`` hard-exits (``os._exit``) upon receiving its
+    ``after_epochs``-th epoch, before executing it.  Unlike the
+    engine-level ``crash`` kind above (a simulated thread dying inside
+    one engine), this kills a whole engine process; the cluster must
+    answer every affected admitted transaction with an explicit
+    backpressure reject and keep serving the surviving shards.
+    """
+
+    shard: int
+    #: The worker dies on receipt of its Nth epoch (1-based).
+    after_epochs: int = 1
+
+    def __post_init__(self):
+        if self.shard < 0:
+            raise ConfigError(f"shard must be >= 0, got {self.shard}")
+        if self.after_epochs < 1:
+            raise ConfigError(
+                f"after_epochs must be >= 1, got {self.after_epochs}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultEvent:
     """One injection, stamped at virtual-cycle precision.
 

@@ -214,11 +214,18 @@ def build_serve_artifact(
     epochs: list,
     metrics: Optional[MetricsRegistry] = None,
     config=None,
+    shards: Optional[Mapping] = None,
 ) -> dict:
-    """Assemble the ``repro.serve/1`` document for one serving session."""
+    """Assemble the ``repro.serve/1`` document for one serving session.
+
+    ``shards`` is the optional cluster section a sharded server
+    (``serve --shards N``) adds: a shard count plus per-shard liveness
+    and throughput totals.  Single-engine artifacts omit it, so the
+    schema stays backwards compatible.
+    """
     from .. import __version__
 
-    return {
+    doc = {
         "schema": SERVE_SCHEMA_ID,
         "generated_by": f"repro {__version__}",
         "server": dict(server_info),
@@ -228,6 +235,9 @@ def build_serve_artifact(
                     else MetricsRegistry().to_dict()),
         "config": _config_to_dict(config),
     }
+    if shards is not None:
+        doc["shards"] = dict(shards)
+    return doc
 
 
 def export_serve(
@@ -237,10 +247,11 @@ def export_serve(
     epochs: list,
     metrics: Optional[MetricsRegistry] = None,
     config=None,
+    shards: Optional[Mapping] = None,
 ) -> dict:
     """Build, validate, and write a serve artifact; returns the document."""
     doc = build_serve_artifact(server_info, summary, epochs,
-                               metrics=metrics, config=config)
+                               metrics=metrics, config=config, shards=shards)
     validate_serve_artifact(doc)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -352,7 +363,39 @@ def validate_serve_artifact(doc: Mapping) -> None:
         raise ArtifactError(
             "per-epoch committed counts do not add up to summary.committed"
         )
+    shards = doc.get("shards")
+    if shards is not None:
+        _validate_shards(shards)
     _validate_metrics(doc)
+
+
+#: Per-shard entry of the optional cluster ``shards`` section.
+_SHARD_FIELDS: dict[str, tuple[type, ...]] = {
+    "shard": (int,),
+    "alive": (bool,),
+    "epochs": (int,),
+    "committed": (int,),
+    "aborts": (int,),
+    "end_cycles": (int,),
+}
+
+
+def _validate_shards(shards) -> None:
+    if not isinstance(shards, Mapping):
+        raise ArtifactError("shards section must be an object")
+    count = shards.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise ArtifactError("shards.count must be a positive integer")
+    per_shard = shards.get("per_shard")
+    if not isinstance(per_shard, list) or len(per_shard) != count:
+        raise ArtifactError(
+            "shards.per_shard must be a list with one entry per shard"
+        )
+    for i, entry in enumerate(per_shard):
+        if not isinstance(entry, Mapping):
+            raise ArtifactError(f"shards.per_shard[{i}] must be an object")
+        _validate_section(entry, _SHARD_FIELDS, f"shards.per_shard[{i}]",
+                          allow_bool=("alive",))
 
 
 def _validate_section(

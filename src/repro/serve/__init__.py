@@ -9,18 +9,30 @@ N+1 overlaps execution of epoch N (see :mod:`repro.serve.pipeline`),
 and every run is replayable batch-side via
 :func:`~repro.serve.pipeline.replay_epochs`.
 
+With ``--shards N`` the same front door fans execution out over N
+engine shards, each owning a hash partition of the key space in its own
+worker process; cross-shard transactions commit in an epoch-aligned
+deterministic order with no 2PC (see docs/sharding.md and
+:mod:`repro.serve.cluster`).
+
 Layout:
 
 * :mod:`repro.serve.protocol` — the wire codec (frames, txn encoding);
 * :mod:`repro.serve.batcher`  — size/deadline epoch closing;
 * :mod:`repro.serve.pipeline` — deterministic executor + async overlap;
 * :mod:`repro.serve.server`   — the asyncio TCP server and admission;
+* :mod:`repro.serve.router`   — key partitioning + txn classification;
+* :mod:`repro.serve.shard`    — per-shard engine workers (process/inline);
+* :mod:`repro.serve.coordinator` — agreed-order cross-shard commit;
+* :mod:`repro.serve.cluster`  — the sharded server + cluster replay;
 * :mod:`repro.serve.loadgen`  — seeded open/closed-loop client driver.
 
 See docs/serving.md for the protocol and epoch lifecycle.
 """
 
 from .batcher import CLOSE_DEADLINE, CLOSE_DRAIN, CLOSE_SIZE, Epoch, EpochBatcher, Submission
+from .cluster import ClusterServer, replay_cluster
+from .coordinator import agreed_order, shard_slice, slice_epoch
 from .loadgen import LoadgenReport, TxnRecord, poisson_schedule, run_loadgen
 from .pipeline import (
     SERVABLE_SYSTEMS,
@@ -31,7 +43,16 @@ from .pipeline import (
     TxnOutcome,
     make_servable_system,
     replay_epochs,
+    state_digest,
 )
+from .router import (
+    UNPARTITIONED_TABLES,
+    RouteDecision,
+    ShardRouter,
+    affinity_group,
+    shard_of_group,
+)
+from .shard import InlineShard, ProcessShard, ShardDeadError, ShardEpochResult
 from .protocol import (
     MAX_FRAME_BYTES,
     STATUS_COMMITTED,
@@ -49,29 +70,44 @@ __all__ = [
     "CLOSE_DEADLINE",
     "CLOSE_DRAIN",
     "CLOSE_SIZE",
+    "ClusterServer",
     "Epoch",
     "EpochBatcher",
     "EpochExecutor",
     "EpochOutcome",
     "EpochPipeline",
     "EpochSpan",
+    "InlineShard",
     "LoadgenReport",
     "MAX_FRAME_BYTES",
+    "ProcessShard",
+    "RouteDecision",
     "SERVABLE_SYSTEMS",
     "STATUS_COMMITTED",
     "STATUS_REJECTED",
     "ServeServer",
+    "ShardDeadError",
+    "ShardEpochResult",
+    "ShardRouter",
     "Submission",
     "TxnOutcome",
     "TxnRecord",
+    "UNPARTITIONED_TABLES",
     "WIRE_SCHEMA",
     "WireError",
+    "affinity_group",
+    "agreed_order",
     "decode_frame",
     "encode_frame",
     "make_servable_system",
     "poisson_schedule",
+    "replay_cluster",
     "replay_epochs",
     "run_loadgen",
+    "shard_of_group",
+    "shard_slice",
+    "slice_epoch",
+    "state_digest",
     "txn_from_wire",
     "txn_to_wire",
 ]

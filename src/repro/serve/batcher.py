@@ -13,6 +13,16 @@ the *current* epoch and closes it when either bound trips:
 Closed epochs queue up for the scheduling pipeline in admission order;
 ``flush`` closes a partial epoch early (drain path) and ``shutdown``
 additionally wakes the consumer with an end-of-stream sentinel.
+
+The sharded cluster (:mod:`repro.serve.cluster`) runs one batcher per
+shard plus one for cross-shard traffic.  Two hooks exist for that
+topology: ``id_source`` draws epoch ids from a shared monotone counter
+(so ids are globally unique and ordered by close time across all
+batchers), and ``sink`` redirects closed epochs into a shared queue the
+cluster dispatcher consumes in close order.  Deadline timers stay
+strictly per-batcher and generation-counted: an idle shard's batcher
+never arms a timer, and one batcher's deadline can never close another
+batcher's epoch.
 """
 
 from __future__ import annotations
@@ -78,6 +88,9 @@ class EpochBatcher:
         max_txns: int,
         max_ms: float,
         clock: Callable[[], float] = time.monotonic,
+        id_source: Optional[Callable[[], int]] = None,
+        sink: Optional[asyncio.Queue] = None,
+        meta: Optional[dict] = None,
     ):
         if max_txns <= 0:
             raise ValueError(f"max_txns must be positive, got {max_txns}")
@@ -86,10 +99,20 @@ class EpochBatcher:
         self.max_txns = max_txns
         self.max_ms = max_ms
         self._clock = clock
+        #: Where each closed epoch's id comes from: a shared cluster-wide
+        #: counter, or (default) this batcher's own local sequence.
+        self._id_source = id_source
+        self._local_next = 0
+        #: Closed epochs land here; ``sink`` redirects them to a shared
+        #: queue (the cluster dispatcher), own queue otherwise.
+        self._sink = sink
+        #: Copied into every closed epoch's ``meta`` so a shared-sink
+        #: consumer can tell which batcher (shard) it came from.
+        self._meta = dict(meta) if meta else {}
         self._current: list[Submission] = []
         self._opened_at = 0.0
         self._epochs: asyncio.Queue = asyncio.Queue()
-        self._next_id = 0
+        self._closed = 0
         #: Bumps on every close so a stale deadline timer can recognise
         #: that "its" epoch is already gone.
         self._generation = 0
@@ -106,7 +129,12 @@ class EpochBatcher:
 
     @property
     def epochs_closed(self) -> int:
-        return self._next_id
+        return self._closed
+
+    @property
+    def timer_armed(self) -> bool:
+        """True while a deadline timer is pending (idle batchers arm none)."""
+        return self._timer is not None
 
     def put(self, sub: Submission) -> None:
         """Admit one submission into the current epoch."""
@@ -129,8 +157,14 @@ class EpochBatcher:
         if self._shut:
             return
         self.flush()
+        # Defensive: flush closes any open epoch (which cancels its
+        # timer), so no timer should survive to here — but a cancelled
+        # straggler firing after shutdown must find nothing armed.
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         self._shut = True
-        self._epochs.put_nowait(None)
+        (self._sink if self._sink is not None else self._epochs).put_nowait(None)
 
     # -- consumer side ---------------------------------------------------
     async def next_epoch(self) -> Optional[Epoch]:
@@ -160,14 +194,20 @@ class EpochBatcher:
             self._timer.cancel()
             self._timer = None
         self._generation += 1
+        if self._id_source is not None:
+            epoch_id = self._id_source()
+        else:
+            epoch_id = self._local_next
+            self._local_next += 1
         epoch = Epoch(
-            epoch_id=self._next_id,
+            epoch_id=epoch_id,
             subs=self._current,
             opened_at=self._opened_at,
             closed_at=self._clock(),
             reason=reason,
+            meta=dict(self._meta),
         )
-        self._next_id += 1
+        self._closed += 1
         self._current = []
         self.closed_by_reason[reason] = self.closed_by_reason.get(reason, 0) + 1
-        self._epochs.put_nowait(epoch)
+        (self._sink if self._sink is not None else self._epochs).put_nowait(epoch)

@@ -1,0 +1,599 @@
+"""Sharded multi-engine serving: the ``--shards N`` front door.
+
+:class:`ClusterServer` keeps the single-engine server's contracts —
+bounded admission with backpressure, exactly one response per admitted
+transaction, graceful drain writing a schema-valid artifact — while
+spreading execution over N engine shards (:mod:`.shard`), each owning a
+hash partition of the key space (:mod:`.router`) behind its own epoch
+batcher.
+
+Topology::
+
+    conns -> admit -> classify -> shard 0 batcher \\
+                                  shard 1 batcher  > shared sink -> dispatcher
+                                  ...             /
+                                  cross batcher  /
+
+    dispatcher: single-shard epoch  -> owning shard (schedule + execute)
+                cross-shard epoch   -> agreed order (coordinator), one
+                                       ordered slice per participant
+
+**Determinism.**  Epoch ids come from one shared counter drawn at close
+time, and every closed epoch funnels through one sink consumed by one
+dispatcher that *synchronously* queues work on each shard's FIFO channel
+— so each shard receives and executes its epochs in global id order, and
+a replay that walks the recorded epochs in id order
+(:func:`replay_cluster`) reconstructs the exact per-shard state.
+Cross-shard epochs commit in an order fixed by
+``Rng(seed).fork(epoch_id)`` (:mod:`.coordinator`): deterministic, no
+2PC, no aborts.
+
+**Fail-stop.**  A dead shard (chaos: :class:`repro.faults.ShardFailStop`)
+fails its in-flight and future epochs with explicit backpressure
+rejects; surviving shards keep serving, and drain still writes a
+cluster artifact whose ``shards`` section records who died.  Cross-shard
+transactions touching a dead participant are rejected whole; slices a
+surviving participant already executed are *not* rolled back — ordered
+epoch commit removes aborts, not the need for recovery, which stays out
+of scope (docs/sharding.md).
+
+The single-engine pipeline's schedule/execute overlap happens *inside*
+each shard process here (one schedules while another executes);
+``pipeline_depth`` therefore does not apply and is ignored.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional, Sequence
+
+from ..common.config import ConfigError, ExperimentConfig, ServeConfig
+from ..common.stats import percentile
+from ..obs.artifact import build_serve_artifact, export_serve
+from .batcher import Epoch, EpochBatcher, Submission
+from .coordinator import agreed_order, slice_epoch
+from .pipeline import (
+    EpochExecutor,
+    EpochSpan,
+    TxnOutcome,
+    state_digest,
+)
+from .protocol import STATUS_COMMITTED, STATUS_REJECTED
+from .router import RouteDecision, ShardRouter
+from .server import EPOCH_SIZE_BUCKETS, SERVE_MS_BUCKETS, ServeServer
+from .shard import InlineShard, ProcessShard, ShardDeadError
+
+
+class ClusterServer(ServeServer):
+    """N engine shards behind the single front door."""
+
+    def __init__(
+        self,
+        serve: ServeConfig,
+        exp: ExperimentConfig,
+        export_path: Optional[str] = None,
+        exit_on_drain: bool = False,
+        trace_path: Optional[str] = None,
+        shard_mode: str = "process",
+        shard_faults: Sequence = (),
+    ):
+        if serve.shards < 2:
+            raise ConfigError(
+                f"ClusterServer needs shards >= 2, got {serve.shards}; "
+                "use ServeServer for a single engine"
+            )
+        if trace_path is not None:
+            raise ConfigError(
+                "span tracing is per-engine and not yet wired across "
+                "shard processes; run --shards 1 to trace"
+            )
+        if shard_mode not in ("process", "inline"):
+            raise ConfigError(
+                f"shard_mode must be 'process' or 'inline', got {shard_mode!r}"
+            )
+        self.shard_mode = shard_mode
+        #: shard id -> fail_after_epochs, from ShardFailStop chaos specs.
+        self._fail_after = {}
+        for fault in shard_faults:
+            if fault.shard >= serve.shards:
+                raise ConfigError(
+                    f"ShardFailStop names shard {fault.shard}; "
+                    f"cluster has {serve.shards}"
+                )
+            self._fail_after[fault.shard] = fault.after_epochs
+        super().__init__(
+            serve, exp,
+            export_path=export_path,
+            exit_on_drain=exit_on_drain,
+            trace_path=None,
+        )
+
+    # -- backend hooks ----------------------------------------------------
+    def _build_backend(self) -> None:
+        serve, exp = self.serve, self.exp
+        self.router = ShardRouter(serve.shards)
+        self._next_epoch_id = 0
+        #: All closed epochs, every batcher, one queue: the dispatcher
+        #: consumes them in close order == shared-counter id order.
+        self._sink: asyncio.Queue = asyncio.Queue()
+        shard_cls = ProcessShard if self.shard_mode == "process" else InlineShard
+        self.shards = [
+            shard_cls(s, serve, exp,
+                      fail_after_epochs=self._fail_after.get(s))
+            for s in range(serve.shards)
+        ]
+        self.shard_batchers = [
+            EpochBatcher(
+                serve.epoch_max_txns, serve.epoch_max_ms,
+                id_source=self._draw_epoch_id, sink=self._sink,
+                meta={"shard": s},
+            )
+            for s in range(serve.shards)
+        ]
+        self.cross_batcher = EpochBatcher(
+            serve.epoch_max_txns, serve.epoch_max_ms,
+            id_source=self._draw_epoch_id, sink=self._sink,
+            meta={"cross": True},
+        )
+        self._all_batchers = [*self.shard_batchers, self.cross_batcher]
+        #: tid -> RouteDecision, recorded at dispatch (replay + cross
+        #: slicing read it; bounded by admission like everything else).
+        self._routes: dict[int, RouteDecision] = {}
+        #: (epoch_id, shard | None, cross, tids) when record_epoch_tids:
+        #: exactly what replay_cluster needs to reconstruct the run.
+        self.epoch_records: list[tuple] = []
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._epoch_tasks: set = set()
+        #: (span, shard, cross) per executed (or failed) epoch.
+        self._spans: list[tuple[EpochSpan, Optional[int], bool]] = []
+        #: shard id -> final database state, captured at drain.
+        self._shard_states: dict[int, dict] = {}
+        #: Aliveness at the moment of drain: stopping a worker closes
+        #: its pipe just like a crash would, so the artifact must
+        #: record who was alive *before* shutdown tore everyone down.
+        self._alive_at_drain: Optional[dict[int, bool]] = None
+
+    def _draw_epoch_id(self) -> int:
+        eid = self._next_epoch_id
+        self._next_epoch_id += 1
+        return eid
+
+    def _start_backend(self) -> None:
+        for shard in self.shards:
+            shard.start()
+        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+        self._pipeline_task = self._dispatch_task
+
+    async def _drain_backend(self) -> None:
+        for batcher in self._all_batchers:
+            batcher.shutdown()
+        await self._dispatch_task
+        self._alive_at_drain = {s.shard_id: bool(s.alive)
+                                for s in self.shards}
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            try:
+                self._shard_states[shard.shard_id] = (
+                    await shard.database_state()
+                )
+            except ShardDeadError:
+                pass  # died between the last epoch and drain
+        for shard in self.shards:
+            await shard.stop()
+
+    def _dispatch(self, sub: Submission) -> None:
+        decision = self.router.classify(sub.txn)
+        self._routes[sub.tid] = decision
+        if decision.cross:
+            if all(self.shards[s].alive for s in decision.shards):
+                self.cross_batcher.put(sub)
+            else:
+                self._reject_submission(sub, decision.home, cross=True)
+        elif self.shards[decision.home].alive:
+            self.shard_batchers[decision.home].put(sub)
+        else:
+            # The owning shard is gone: reject at dispatch rather than
+            # batching toward a worker that can never answer.
+            self._reject_submission(sub, decision.home, cross=False)
+
+    # -- the dispatcher ---------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Single consumer of the shared sink; begins epochs in id order.
+
+        ``_begin_*`` are synchronous through the point where each
+        participant's FIFO position is fixed, which is what makes
+        per-shard execution order equal global epoch-id order.
+        """
+        open_streams = len(self._all_batchers)
+        while open_streams:
+            epoch = await self._sink.get()
+            if epoch is None:
+                open_streams -= 1
+                continue
+            if epoch.meta.get("cross"):
+                self._begin_cross_epoch(epoch)
+            else:
+                self._begin_shard_epoch(epoch, epoch.meta["shard"])
+        if self._epoch_tasks:
+            await asyncio.gather(*self._epoch_tasks)
+
+    def _track(self, coro) -> None:
+        task = asyncio.create_task(coro)
+        self._epoch_tasks.add(task)
+        task.add_done_callback(self._epoch_tasks.discard)
+
+    def _begin_shard_epoch(self, epoch: Epoch, shard_id: int) -> None:
+        if self.serve.record_epoch_tids:
+            self.epoch_records.append(
+                (epoch.epoch_id, shard_id, False,
+                 [s.tid for s in epoch.subs])
+            )
+        begun = time.monotonic()
+        fut = self.shards[shard_id].begin_epoch(
+            epoch.epoch_id, epoch.transactions()
+        )
+        self._track(self._finish_shard_epoch(epoch, shard_id, fut, begun))
+
+    async def _finish_shard_epoch(
+        self, epoch: Epoch, shard_id: int, fut: asyncio.Future, begun: float
+    ) -> None:
+        try:
+            result = await fut
+        except ShardDeadError:
+            self._fail_epoch(epoch, shard_id, cross=False, begun=begun)
+            return
+        done = time.monotonic()
+        self._record_span(
+            epoch, shard_id, cross=False, begun=begun, done=done,
+            start_cycles=result.start_cycles, end_cycles=result.end_cycles,
+            committed=len(result.attempts), aborts=result.aborts,
+        )
+        for sub in epoch.subs:
+            self._resolve_sub(sub, epoch, result.attempts, begun, done,
+                              shard=shard_id, cross=False)
+
+    def _begin_cross_epoch(self, epoch: Epoch) -> None:
+        txns = epoch.transactions()
+        ordered = agreed_order(txns, self.exp.seed, epoch.epoch_id)
+        homes = {t.tid: self._routes[t.tid].home for t in txns}
+        participants = sorted(
+            {s for t in txns for s in self._routes[t.tid].shards}
+        )
+        if self.serve.record_epoch_tids:
+            self.epoch_records.append(
+                (epoch.epoch_id, None, True, [s.tid for s in epoch.subs])
+            )
+        slices = slice_epoch(ordered, participants, homes, self.router)
+        begun = time.monotonic()
+        futs = [
+            self.shards[s].begin_epoch(epoch.epoch_id, slices[s], cross=True)
+            for s in participants if slices[s]
+        ]
+        self._track(
+            self._finish_cross_epoch(epoch, homes, futs, begun)
+        )
+
+    async def _finish_cross_epoch(
+        self,
+        epoch: Epoch,
+        homes: dict[int, int],
+        futs: list[asyncio.Future],
+        begun: float,
+    ) -> None:
+        results = await asyncio.gather(*futs, return_exceptions=True)
+        dead = [r for r in results if isinstance(r, BaseException)]
+        if dead:
+            # A participant died: the epoch cannot commit atomically, so
+            # every transaction in it is rejected (see module docstring
+            # for the surviving-slice caveat).
+            self._fail_epoch(epoch, None, cross=True, begun=begun,
+                             homes=homes)
+            return
+        done = time.monotonic()
+        attempts: dict[int, int] = {}
+        end_cycles = 0
+        aborts = 0
+        for result in results:
+            for tid, n in result.attempts.items():
+                attempts[tid] = max(attempts.get(tid, 0), n)
+            end_cycles = max(end_cycles, result.end_cycles)
+            aborts += result.aborts
+        self._record_span(
+            epoch, None, cross=True, begun=begun, done=done,
+            start_cycles=min(r.start_cycles for r in results),
+            end_cycles=end_cycles, committed=len(attempts), aborts=aborts,
+        )
+        for sub in epoch.subs:
+            self._resolve_sub(sub, epoch, attempts, begun, done,
+                              shard=homes[sub.tid], cross=True)
+
+    # -- outcome plumbing -------------------------------------------------
+    def _resolve_sub(
+        self,
+        sub: Submission,
+        epoch: Epoch,
+        attempts: dict[int, int],
+        begun: float,
+        done: float,
+        shard: int,
+        cross: bool,
+    ) -> None:
+        if sub.future is None or sub.future.done():
+            return
+        sub.future.set_result(TxnOutcome(
+            tid=sub.tid,
+            epoch_id=epoch.epoch_id,
+            attempts=attempts.get(sub.tid, 1),
+            queue_s=begun - sub.submitted_at,
+            schedule_s=0.0,
+            execute_s=done - begun,
+            status=STATUS_COMMITTED,
+            shard=shard,
+            cross_shard=cross,
+        ))
+
+    def _reject_submission(
+        self, sub: Submission, shard: int, cross: bool
+    ) -> None:
+        """Late backpressure: admitted, but the owning shard is dead."""
+        if sub.future is None or sub.future.done():
+            return
+        sub.future.set_result(TxnOutcome(
+            tid=sub.tid,
+            epoch_id=-1,
+            attempts=0,
+            queue_s=time.monotonic() - sub.submitted_at,
+            schedule_s=0.0,
+            execute_s=0.0,
+            status=STATUS_REJECTED,
+            shard=shard,
+            cross_shard=cross,
+        ))
+
+    def _fail_epoch(
+        self,
+        epoch: Epoch,
+        shard_id: Optional[int],
+        cross: bool,
+        begun: float,
+        homes: Optional[dict[int, int]] = None,
+    ) -> None:
+        done = time.monotonic()
+        self._record_span(
+            epoch, shard_id, cross=cross, begun=begun, done=done,
+            start_cycles=0, end_cycles=0, committed=0, aborts=0,
+        )
+        for sub in epoch.subs:
+            self._reject_submission(
+                sub,
+                shard_id if shard_id is not None else homes[sub.tid],
+                cross=cross,
+            )
+
+    def _record_span(
+        self,
+        epoch: Epoch,
+        shard_id: Optional[int],
+        cross: bool,
+        begun: float,
+        done: float,
+        start_cycles: int,
+        end_cycles: int,
+        committed: int,
+        aborts: int,
+    ) -> None:
+        span = EpochSpan(
+            epoch_id=epoch.epoch_id,
+            size=epoch.size,
+            reason=epoch.reason,
+            opened_at=epoch.opened_at,
+            closed_at=epoch.closed_at,
+            # Scheduling happens inside the shard worker; the split is
+            # not observable from the parent, so the span carries the
+            # shard turnaround under exec and zero-width sched.
+            sched_start=begun,
+            sched_end=begun,
+            exec_start=begun,
+            exec_end=done,
+            start_cycles=start_cycles,
+            end_cycles=end_cycles,
+            committed=committed,
+            aborts=aborts,
+            tids=([s.tid for s in epoch.subs]
+                  if self.serve.record_epoch_tids else None),
+        )
+        self._spans.append((span, shard_id, cross))
+        where = "cross" if cross else f"shard{shard_id}"
+        self.metrics.counter("serve.epochs", "epochs executed").inc()
+        self.metrics.counter(
+            f"serve.{where}.epochs", "epochs executed by this shard"
+        ).inc()
+        self.metrics.counter(
+            f"serve.{where}.committed", "transactions committed on this shard"
+        ).inc(committed)
+        self.metrics.counter(
+            "serve.epoch_aborts", "CC aborts across all epochs"
+        ).inc(aborts)
+        self.metrics.counter(
+            f"serve.epochs_closed.{epoch.reason}", "epochs by close reason"
+        ).inc()
+        self.metrics.histogram(
+            "serve.epoch_size", EPOCH_SIZE_BUCKETS,
+            "transactions per closed epoch",
+        ).observe(epoch.size)
+        self.metrics.histogram(
+            "serve.epoch_ms", SERVE_MS_BUCKETS,
+            "epoch wall time, first admission to execution end",
+        ).observe((done - epoch.opened_at) * 1_000.0)
+
+    # -- introspection ----------------------------------------------------
+    def _state_digest(self) -> str:
+        merged: dict = {}
+        for state in self._shard_states.values():
+            merged.update(state)
+        return state_digest(self._commit_req_ids, merged, self._tid_req)
+
+    @property
+    def end_cycles(self) -> int:
+        """Max virtual-clock cursor over the shards (they tick apart)."""
+        return max((s.end_cycles for s in self.shards), default=0)
+
+    def stats(self) -> dict:
+        return {
+            "submitted": self._submitted,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+            "committed": self._committed,
+            "pending": self._pending,
+            "epoch_open": sum(b.pending for b in self._all_batchers),
+            "epochs_closed": sum(b.epochs_closed for b in self._all_batchers),
+            "epochs_executed": len(self._spans),
+            "end_cycles": self.end_cycles,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "window": self._latency_window.snapshot(),
+            "pipeline": {
+                "in_flight": len(self._epoch_tasks),
+                "depth": self.serve.shards,
+                "staged": self._sink.qsize(),
+            },
+            "admission": {
+                "pending": self._pending,
+                "queue_limit": self.serve.queue_limit,
+                "rejected": self._rejected,
+            },
+            "epochs_by_reason": self._reasons(),
+            "shards": self._shards_section(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def _reasons(self) -> dict:
+        merged: dict[str, int] = {}
+        for batcher in self._all_batchers:
+            for reason, n in batcher.closed_by_reason.items():
+                merged[reason] = merged.get(reason, 0) + n
+        return merged
+
+    def summary(self) -> dict:
+        lat = sorted(self._response_ms)
+        doc = {
+            "submitted": self._submitted,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+            "committed": self._committed,
+            "epochs": len(self._spans),
+            "end_cycles": self.end_cycles,
+            "wall_s": round(time.monotonic() - self._started, 3),
+            "latency_ms": {
+                "p50": round(float(percentile(lat, 0.50)), 3),
+                "p95": round(float(percentile(lat, 0.95)), 3),
+                "p99": round(float(percentile(lat, 0.99)), 3),
+            },
+        }
+        if self._drained.is_set():
+            doc["state_digest"] = self._state_digest()
+        return doc
+
+    def server_info(self) -> dict:
+        return {
+            "system": self.serve.system,
+            "host": self.serve.host,
+            "port": self.port if self._server is not None else self.serve.port,
+            "epoch_max_txns": self.serve.epoch_max_txns,
+            "epoch_max_ms": self.serve.epoch_max_ms,
+            "queue_limit": self.serve.queue_limit,
+            "assignment": self.serve.assignment,
+            "pipeline_depth": self.serve.pipeline_depth,
+            "shards": self.serve.shards,
+            "shard_mode": self.shard_mode,
+        }
+
+    def _shards_section(self) -> dict:
+        alive = self._alive_at_drain
+        return {
+            "count": self.serve.shards,
+            "per_shard": [
+                {
+                    "shard": shard.shard_id,
+                    "alive": (bool(shard.alive) if alive is None
+                              else alive[shard.shard_id]),
+                    "epochs": shard.epochs_done,
+                    "committed": shard.committed,
+                    "aborts": shard.aborts,
+                    "end_cycles": shard.end_cycles,
+                }
+                for shard in self.shards
+            ],
+        }
+
+    def _epoch_dicts(self) -> list[dict]:
+        return [
+            {**span.to_dict(),
+             "shard": shard_id if shard_id is not None else -1,
+             "cross": cross}
+            for span, shard_id, cross in self._spans
+        ]
+
+    def artifact(self) -> dict:
+        return build_serve_artifact(
+            self.server_info(),
+            self.summary(),
+            self._epoch_dicts(),
+            metrics=self.metrics,
+            config=self.exp,
+            shards=self._shards_section(),
+        )
+
+    def _export(self, path: str) -> dict:
+        return export_serve(
+            path,
+            self.server_info(),
+            self.summary(),
+            self._epoch_dicts(),
+            metrics=self.metrics,
+            config=self.exp,
+            shards=self._shards_section(),
+        )
+
+
+def replay_cluster(
+    serve: ServeConfig,
+    exp: ExperimentConfig,
+    records: Sequence[tuple],
+    transactions: Sequence,
+) -> tuple[dict[int, EpochExecutor], dict]:
+    """Re-run a cluster session's recorded epochs, batch style.
+
+    ``records`` are ``(epoch_id, shard | None, cross, tids)`` tuples as
+    collected by a ``record_epoch_tids`` server (``epoch_records``);
+    ``transactions`` must cover every recorded tid.  Epochs are applied
+    in id order — exactly the order each shard consumed them live — so
+    the resulting per-shard executors finish bit-identical to the live
+    shards: same commits, same database state, same clock cursors.
+    """
+    router = ShardRouter(serve.shards)
+    executors = {
+        s: EpochExecutor(serve, exp) for s in range(serve.shards)
+    }
+    txn_of = {t.tid: t for t in transactions}
+    for epoch_id, shard_id, cross, tids in sorted(records):
+        txns = [txn_of[tid] for tid in tids]
+        if cross:
+            ordered = agreed_order(txns, exp.seed, epoch_id)
+            decisions = {t.tid: router.classify(t) for t in txns}
+            homes = {tid: d.home for tid, d in decisions.items()}
+            participants = sorted(
+                {s for d in decisions.values() for s in d.shards}
+            )
+            slices = slice_epoch(ordered, participants, homes, router)
+            for s in participants:
+                if slices[s]:
+                    executors[s].execute_serial(slices[s], epoch_id)
+        else:
+            plan = executors[shard_id].schedule(txns, epoch_id)
+            executors[shard_id].execute(plan, epoch_id)
+    merged: dict = {}
+    for executor in executors.values():
+        merged.update(executor.database_state())
+    return executors, merged

@@ -1,0 +1,92 @@
+"""Epoch-aligned deterministic commit for cross-shard transactions.
+
+No 2PC, no aborts: when a cross-shard epoch closes, the coordinator
+fixes a **global order** over its transactions — a seeded shuffle of the
+tid-sorted batch, drawn from ``Rng(seed).fork(epoch_id)`` exactly like
+the per-epoch scheduling RNG — and every participating shard executes
+its *slice* (the ops it owns) serially in that agreed order.  Because
+the order is a pure function of ``(seed, epoch_id, admitted tids)``, a
+replay that reconstructs the same epochs reproduces the same order, the
+same slices, and the same final state.  This is the deterministic-
+database move (the ForeSight direction in PAPERS.md): agree on the
+order first, then execution needs no coordination at all beyond the
+epoch barrier itself.
+
+The functions here are deliberately pure (no I/O, no clocks) so the
+live cluster and the replay harness call the exact same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..common.rng import Rng
+from ..txn.operation import OpKind
+from ..txn.transaction import Transaction
+from .router import ShardRouter
+
+#: Salt under the epoch fork reserved for the commit-order draw, so the
+#: order never correlates with the scheduling RNG of a same-id epoch.
+ORDER_SALT = 7
+
+
+def agreed_order(
+    txns: Sequence[Transaction], seed: int, epoch_id: int
+) -> list[Transaction]:
+    """The epoch's global commit order: a seeded shuffle over tid order.
+
+    Starting from sorted tids makes the result independent of the
+    caller's iteration order; the shuffle keeps any one shard from
+    systematically executing its slice in admission order (which would
+    couple commit order to arrival timing in disguise).
+    """
+    order = sorted(txns, key=lambda t: t.tid)
+    Rng(seed).fork(epoch_id).fork(ORDER_SALT).shuffle(order)
+    return order
+
+
+def shard_slice(
+    txn: Transaction, shard: int, home: int, router: ShardRouter
+) -> Transaction | None:
+    """The sub-transaction of ``txn`` that ``shard`` executes.
+
+    Keeps the ops whose keys the shard owns; unpartitioned-table ops
+    ride with the home shard.  The slice keeps the original tid (it is
+    the same logical transaction) and re-derives its access sets and
+    range flag from the retained ops.  None when the shard owns nothing
+    of this transaction.
+    """
+    owned = []
+    for op in txn.ops:
+        owner = router.shard_of_key((op.table, op.key))
+        if owner == shard or (owner is None and shard == home):
+            owned.append(op)
+    if not owned:
+        return None
+    return replace(
+        txn,
+        ops=tuple(owned),
+        has_range=any(op.kind is OpKind.SCAN for op in owned),
+    )
+
+
+def slice_epoch(
+    ordered: Sequence[Transaction],
+    participants: Sequence[int],
+    homes: dict[int, int],
+    router: ShardRouter,
+) -> dict[int, list[Transaction]]:
+    """Per-participant slices of an ordered cross-shard epoch.
+
+    Every slice preserves the agreed order; a participant that owns
+    nothing of some transaction simply skips it.  ``homes`` maps tid ->
+    home shard (anchoring unpartitioned ops).
+    """
+    slices: dict[int, list[Transaction]] = {s: [] for s in participants}
+    for txn in ordered:
+        for shard in participants:
+            sliced = shard_slice(txn, shard, homes[txn.tid], router)
+            if sliced is not None:
+                slices[shard].append(sliced)
+    return slices

@@ -205,8 +205,26 @@ class EpochExecutor:
         )
 
     # -- stage 2: execution (engine + database + TsDEFER only) -----------
-    def execute(self, plan: ExecutionPlan, epoch_id: int) -> EpochOutcome:
-        """Run a prepared epoch against the persistent store."""
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        epoch_id: int,
+        canonical: Optional[Sequence[Transaction]] = None,
+    ) -> EpochOutcome:
+        """Run a prepared epoch against the persistent store.
+
+        After the engine finishes, each written key is reconciled to the
+        *canonical commit order* — ``canonical`` when given (the agreed
+        order of a cross-shard epoch), tid-ascending within the epoch
+        otherwise.  Every admitted transaction commits (the engine
+        retries aborts to completion), so the canonical last writer's
+        value is always a committed value and the version counter — one
+        bump per committed write — is order-invariant.  This makes the
+        final database state a pure function of *which transactions ran
+        in which epoch slices*, not of scheduling interleavings: slicing
+        an epoch across shards and replaying it whole land on identical
+        state (see docs/sharding.md).
+        """
         # Table creation is an execute-stage mutation (db is this stage's
         # state); ordered tables throughout so range ops always work.
         for phase in plan.phases:
@@ -218,6 +236,12 @@ class EpochExecutor:
         start = self.clock
         result = self.tskd.execute_plan(self.engine, plan, start_time=start)
         self.clock = result.end_time
+        if canonical is None:
+            canonical = sorted(
+                (t for phase in plan.phases for buf in phase for t in buf),
+                key=lambda t: t.tid,
+            )
+        self._install_canonical(canonical)
         if self.tracer is not None:
             from ..obs.tracing import TraceEvent
 
@@ -236,6 +260,37 @@ class EpochExecutor:
             end_cycles=result.end_time,
         )
 
+    def execute_serial(
+        self, txns: Sequence[Transaction], epoch_id: int
+    ) -> EpochOutcome:
+        """Run a cross-shard slice serially in the given agreed order.
+
+        Cross-shard epochs bypass scheduling: the coordinator already
+        fixed a global order (``Rng(seed).fork(epoch_id)``), and every
+        participant executes its slice on one thread in exactly that
+        order — deterministic commits with no 2PC and no aborts to
+        resolve.  The single-buffer plan leaves the cost model untouched
+        (only :meth:`schedule` feeds it), so single-shard scheduling is
+        unaffected by how much cross traffic interleaves.
+        """
+        ordered = list(txns)
+        plan = ExecutionPlan(
+            phases=[[ordered] + [[] for _ in range(self.k - 1)]]
+        )
+        return self.execute(plan, epoch_id, canonical=ordered)
+
+    def _install_canonical(self, order: Sequence[Transaction]) -> None:
+        """Reconcile written records to the canonical last writer."""
+        for txn in order:
+            for op in txn.ops:
+                if not op.is_write:
+                    continue
+                table = self.db.table(op.table)
+                if op.key in table:
+                    record = table.get(op.key)
+                    record.value = op.value
+                    record.last_writer = txn.tid
+
     # -- inspection -------------------------------------------------------
     def database_state(self) -> dict:
         """Flat ``(table, key) -> (value, version, last_writer)`` map."""
@@ -247,6 +302,32 @@ class EpochExecutor:
                     record.value, record.version, record.last_writer
                 )
         return state
+
+
+def state_digest(
+    req_ids: Sequence[int],
+    db_state: dict,
+    tid_to_req: Optional[dict[int, int]] = None,
+) -> str:
+    """Canonical digest of a serving run's observable outcome.
+
+    Covers the committed request ids and the final database state with
+    last-writer tids rewritten to request ids (``tid_to_req``).  Server
+    tids depend on arrival order under concurrent clients, so raw tids
+    differ run-to-run even when the *logical* outcome is identical; in
+    request-id space the digest is comparable across topologies
+    (``--shards 1`` vs ``--shards N``) and across runs.
+    """
+    from ..common.hashing import config_hash
+
+    mapping = tid_to_req or {}
+    return config_hash({
+        "commits": sorted(req_ids),
+        "db": {
+            key: [value, version, mapping.get(last_writer, last_writer)]
+            for key, (value, version, last_writer) in db_state.items()
+        },
+    })
 
 
 def replay_epochs(
@@ -318,6 +399,13 @@ class TxnOutcome:
     queue_s: float
     schedule_s: float
     execute_s: float
+    #: "committed", or "rejected" when the owning shard died before the
+    #: epoch executed (cluster fail-stop path; see repro.serve.cluster).
+    status: str = "committed"
+    #: Shard that executed the transaction; None on the single-engine path.
+    shard: Optional[int] = None
+    #: True when the transaction spanned shards (epoch-aligned commit).
+    cross_shard: Optional[bool] = None
 
 
 class EpochPipeline:

@@ -18,6 +18,12 @@ Frame inventory (``c>`` client to server, ``s>`` server to client)::
     s> {"v": ..., "type": "response", "id": 8, "status": "rejected",
         "retry_after_ms": 25.0}
 
+A sharded server (``serve --shards N``) additionally stamps committed
+responses with ``"shard"`` (the executing shard) and ``"cross_shard"``
+(true when the transaction spanned shards and went through the
+epoch-aligned deterministic commit).  Single-engine servers omit both,
+so ``repro.wire/1`` stays backwards compatible either way.
+
     c> {"v": ..., "type": "stats"}
     s> {"v": ..., "type": "stats", "data": {...}}
 
@@ -186,6 +192,8 @@ def response_frame(
     attempts: Optional[int] = None,
     latency_ms: Optional[Mapping[str, float]] = None,
     retry_after_ms: Optional[float] = None,
+    shard: Optional[int] = None,
+    cross_shard: Optional[bool] = None,
 ) -> dict:
     frame: dict = {"type": "response", "id": req_id, "status": status}
     if tid is not None:
@@ -198,6 +206,10 @@ def response_frame(
         frame["latency_ms"] = {k: round(v, 3) for k, v in latency_ms.items()}
     if retry_after_ms is not None:
         frame["retry_after_ms"] = retry_after_ms
+    if shard is not None:
+        frame["shard"] = shard
+    if cross_shard is not None:
+        frame["cross_shard"] = cross_shard
     return frame
 
 

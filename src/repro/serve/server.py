@@ -30,7 +30,7 @@ from ..obs.live import SlidingWindow
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import JsonlTracer
 from .batcher import EpochBatcher, Submission
-from .pipeline import EpochExecutor, EpochPipeline, TxnOutcome
+from .pipeline import EpochExecutor, EpochPipeline, TxnOutcome, state_digest
 from .protocol import (
     CLIENT_FRAMES,
     MAX_FRAME_BYTES,
@@ -73,16 +73,8 @@ class ServeServer:
         #: Optional JSONL span log: engine events plus one "epoch" event
         #: per executed epoch, consumable by ``repro trace --chrome``.
         self.tracer = JsonlTracer(trace_path) if trace_path else None
-        self.executor = EpochExecutor(serve, exp, tracer=self.tracer)
-        self.batcher = EpochBatcher(serve.epoch_max_txns, serve.epoch_max_ms)
         self.metrics = MetricsRegistry()
-        self.pipeline = EpochPipeline(
-            self.executor,
-            self.batcher,
-            pipeline_depth=serve.pipeline_depth,
-            on_epoch=self._on_epoch,
-            record_tids=serve.record_epoch_tids,
-        )
+        self._build_backend()
 
         self._server: Optional[asyncio.base_events.Server] = None
         self._pipeline_task: Optional[asyncio.Task] = None
@@ -95,12 +87,54 @@ class ServeServer:
         self._admitted = 0
         self._rejected = 0
         self._committed = 0
+        #: Server tid -> client request id, recorded at admission.  The
+        #: canonical state digest rewrites last-writer tids into request
+        #: ids, which are arrival-order independent (see state_digest).
+        self._tid_req: dict[int, int] = {}
+        #: Request ids of committed transactions, in response order.
+        self._commit_req_ids: list[int] = []
         self._response_ms: list[float] = []
         #: Exact response-latency quantiles over the last W wall seconds
         #: (the live section of the stats frame; see repro.obs.live).
         self._latency_window = SlidingWindow()
         self._drained = asyncio.Event()
         self._draining = False
+
+    # -- backend hooks (overridden by the sharded cluster) ----------------
+    def _build_backend(self) -> None:
+        """Construct the execution backend: one executor, one batcher."""
+        self.executor = EpochExecutor(self.serve, self.exp, tracer=self.tracer)
+        self.batcher = EpochBatcher(
+            self.serve.epoch_max_txns, self.serve.epoch_max_ms
+        )
+        self.pipeline = EpochPipeline(
+            self.executor,
+            self.batcher,
+            pipeline_depth=self.serve.pipeline_depth,
+            on_epoch=self._on_epoch,
+            record_tids=self.serve.record_epoch_tids,
+        )
+
+    def _start_backend(self) -> None:
+        """Kick off the backend's consumer task(s) on the running loop."""
+        self._pipeline_task = asyncio.create_task(self.pipeline.run())
+
+    async def _drain_backend(self) -> None:
+        """Flush open epochs and wait for every in-flight one to finish."""
+        self.batcher.shutdown()
+        await self._pipeline_task
+
+    def _dispatch(self, sub: Submission) -> None:
+        """Hand an admitted submission to the backend."""
+        self.batcher.put(sub)
+
+    def _state_digest(self) -> str:
+        """Canonical digest of commits + final db state (request-id space)."""
+        return state_digest(
+            self._commit_req_ids,
+            self.executor.database_state(),
+            self._tid_req,
+        )
 
     # -- lifecycle --------------------------------------------------------
     @property
@@ -118,7 +152,7 @@ class ServeServer:
             port=self.serve.port,
             limit=MAX_FRAME_BYTES + 1_024,
         )
-        self._pipeline_task = asyncio.create_task(self.pipeline.run())
+        self._start_backend()
 
     async def serve_forever(self) -> None:
         """Run until the listener is closed (drain with exit_on_drain)."""
@@ -148,13 +182,14 @@ class ServeServer:
         if not self._drained.is_set():
             if not self._draining:
                 self._draining = True
-                self.batcher.shutdown()
-                await self._pipeline_task
+                await self._drain_backend()
                 if self.tracer is not None:
                     self.tracer.close()
+                # Set before exporting so the artifact's summary carries
+                # the post-drain state digest.
+                self._drained.set()
                 if self.export_path is not None:
                     self._export(self.export_path)
-                self._drained.set()
             else:
                 await self._drained.wait()
         return self.summary()
@@ -220,14 +255,7 @@ class ServeServer:
         ).inc()
         req_id = doc["id"]
         if self._draining or self._pending >= self.serve.queue_limit:
-            self._rejected += 1
-            self.metrics.counter(
-                "serve.rejected", "submits rejected by backpressure"
-            ).inc()
-            writer.write(encode_frame(response_frame(
-                req_id, STATUS_REJECTED,
-                retry_after_ms=self.serve.retry_after_ms,
-            )))
+            self._reject_now(req_id, writer)
             return
         try:
             txn = txn_from_wire(doc["txn"], tid=self._next_tid)
@@ -237,6 +265,7 @@ class ServeServer:
         self._next_tid += 1
         self._pending += 1
         self._admitted += 1
+        self._tid_req[txn.tid] = req_id
         self.metrics.counter("serve.admitted", "transactions admitted").inc()
         self.metrics.gauge(
             "serve.queue_depth", "admitted, not yet responded"
@@ -253,16 +282,45 @@ class ServeServer:
         future.add_done_callback(
             lambda fut, sub=sub: self._respond(sub, fut)
         )
-        self.batcher.put(sub)
+        self._dispatch(sub)
+
+    def _reject_now(self, req_id: int, writer) -> None:
+        """Backpressure a submit before admission (bounded queue / drain)."""
+        self._rejected += 1
+        self.metrics.counter(
+            "serve.rejected", "submits rejected by backpressure"
+        ).inc()
+        writer.write(encode_frame(response_frame(
+            req_id, STATUS_REJECTED,
+            retry_after_ms=self.serve.retry_after_ms,
+        )))
 
     def _respond(self, sub: Submission, fut: asyncio.Future) -> None:
         outcome: TxnOutcome = fut.result()
         self._pending -= 1
+        self.metrics.gauge("serve.queue_depth").set(self._pending)
+        writer = sub.conn
+        if outcome.status == STATUS_REJECTED:
+            # Admitted, but the owning shard died before its epoch ran:
+            # an explicit late backpressure reject, never silence.
+            self._rejected += 1
+            self.metrics.counter(
+                "serve.rejected", "submits rejected by backpressure"
+            ).inc()
+            if writer is None or writer.is_closing():
+                return
+            writer.write(encode_frame(response_frame(
+                sub.req_id, STATUS_REJECTED,
+                retry_after_ms=self.serve.retry_after_ms,
+                shard=outcome.shard,
+                cross_shard=outcome.cross_shard,
+            )))
+            return
         self._committed += 1
+        self._commit_req_ids.append(sub.req_id)
         self.metrics.counter(
             "serve.committed", "transactions committed"
         ).inc()
-        self.metrics.gauge("serve.queue_depth").set(self._pending)
         total_s = time.monotonic() - sub.submitted_at
         total_ms = total_s * 1_000.0
         self._response_ms.append(total_ms)
@@ -271,7 +329,6 @@ class ServeServer:
             "serve.latency_ms", SERVE_MS_BUCKETS,
             "submit-to-response wall latency",
         ).observe(total_ms)
-        writer = sub.conn
         if writer is None or writer.is_closing():
             return
         writer.write(encode_frame(response_frame(
@@ -286,6 +343,8 @@ class ServeServer:
                 "execute": outcome.execute_s * 1_000.0,
                 "total": total_ms,
             },
+            shard=outcome.shard,
+            cross_shard=outcome.cross_shard,
         )))
 
     # -- pipeline callback -------------------------------------------------
@@ -348,7 +407,7 @@ class ServeServer:
 
     def summary(self) -> dict:
         lat = sorted(self._response_ms)
-        return {
+        doc = {
             "submitted": self._submitted,
             "admitted": self._admitted,
             "rejected": self._rejected,
@@ -362,6 +421,11 @@ class ServeServer:
                 "p99": round(float(percentile(lat, 0.99)), 3),
             },
         }
+        # Only a quiesced store has a meaningful digest (and reading it
+        # mid-run would race the execute stage).
+        if self._drained.is_set():
+            doc["state_digest"] = self._state_digest()
+        return doc
 
     def server_info(self) -> dict:
         return {

@@ -198,3 +198,8 @@ class TestCellKey:
             assert stable_repr(f) == stable_repr(float(i))
         else:
             assert stable_repr(f) != stable_repr(i) or f == i
+
+    def test_negative_zero_is_zero(self):
+        """-0.0 == 0.0 everywhere in Python, so the canonical encoding
+        must collapse them too (found by the property above)."""
+        assert stable_repr(-0.0) == stable_repr(0.0)

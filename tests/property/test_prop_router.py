@@ -1,0 +1,168 @@
+"""Properties of the cluster's shard router (repro.serve.router).
+
+The sharded cluster is only deterministic if routing is: every key must
+map to exactly one shard (a total, collision-free partition of the key
+universe, composite TPC-C tuple keys included), cross-shard
+classification must say exactly "the partitioned access set spans more
+than one shard", and the map must be a pure function of the key — the
+same in every process, after every restart, under every
+``PYTHONHASHSEED``.  A router leaking the builtin ``hash`` would
+scatter a key's rows across shards between runs and silently corrupt
+the replay story.
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    UNPARTITIONED_TABLES,
+    ShardRouter,
+    affinity_group,
+    shard_of_group,
+)
+from repro.serve.coordinator import slice_epoch
+from repro.txn import make_transaction, read, write
+
+# Primary keys as the workloads produce them: YCSB integers, string
+# ids, and TPC-C composite tuples like (w_id, d_id, o_id).
+scalar_pks = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=12),
+)
+tuple_pks = st.tuples(
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=10_000),
+)
+pks = st.one_of(scalar_pks, tuple_pks)
+
+partitioned_tables = st.sampled_from(["x", "warehouse", "district", "orders"])
+all_tables = st.one_of(
+    partitioned_tables, st.sampled_from(sorted(UNPARTITIONED_TABLES))
+)
+
+shard_counts = st.integers(min_value=1, max_value=16)
+
+accesses = st.lists(
+    st.tuples(all_tables, pks, st.booleans()), min_size=1, max_size=12
+)
+
+
+def txn_of(entries, tid=1):
+    ops = [write(t, pk) if w else read(t, pk) for t, pk, w in entries]
+    return make_transaction(tid, ops)
+
+
+class TestTotalPartition:
+    @given(pks, partitioned_tables, shard_counts)
+    @settings(max_examples=300)
+    def test_every_partitioned_key_has_exactly_one_owner(self, pk, table, n):
+        router = ShardRouter(n)
+        owner = router.shard_of_key((table, pk))
+        assert owner in range(n)
+        # A pure function: asking again (or a fresh router) agrees.
+        assert ShardRouter(n).shard_of_key((table, pk)) == owner
+
+    @given(pks, shard_counts)
+    @settings(max_examples=200)
+    def test_owner_ignores_the_table_name(self, pk, n):
+        router = ShardRouter(n)
+        assert (router.shard_of_key(("x", pk))
+                == router.shard_of_key(("warehouse", pk)))
+
+    @given(tuple_pks, tuple_pks, shard_counts)
+    @settings(max_examples=200)
+    def test_composite_keys_colocate_by_first_element(self, a, b, n):
+        router = ShardRouter(n)
+        if affinity_group(a) == affinity_group(b):
+            assert (router.shard_of_key(("orders", a))
+                    == router.shard_of_key(("orders", b)))
+
+    @given(st.sampled_from(sorted(UNPARTITIONED_TABLES)), pks, shard_counts)
+    @settings(max_examples=100)
+    def test_unpartitioned_tables_have_no_owner(self, table, pk, n):
+        assert ShardRouter(n).shard_of_key((table, pk)) is None
+
+
+class TestClassification:
+    @given(accesses, shard_counts)
+    @settings(max_examples=300)
+    def test_cross_iff_partitioned_access_set_spans_shards(self, entries, n):
+        router = ShardRouter(n)
+        txn = txn_of(entries)
+        decision = router.classify(txn)
+        owners = {
+            router.shard_of_key((op.table, op.key))
+            for op in txn.ops
+            if op.table not in UNPARTITIONED_TABLES
+        }
+        assert decision.cross == (len(owners) > 1)
+        if owners:
+            assert set(decision.shards) == owners
+            # Home is the first partitioned access's owner.
+            first = next(op for op in txn.ops
+                         if op.table not in UNPARTITIONED_TABLES)
+            assert decision.home == router.shard_of_key(
+                (first.table, first.key))
+        else:
+            assert decision.shards == (decision.home,)
+        assert decision.shards == tuple(sorted(decision.shards))
+        assert decision.home in range(n)
+
+    @given(accesses, shard_counts)
+    @settings(max_examples=200)
+    def test_slices_partition_the_ops_exactly(self, entries, n):
+        """Every op of a cross epoch lands in exactly one shard slice."""
+        router = ShardRouter(n)
+        txn = txn_of(entries)
+        decision = router.classify(txn)
+        participants = sorted(set(decision.shards) | {decision.home})
+        slices = slice_epoch(
+            [txn], participants, {txn.tid: decision.home}, router
+        )
+        sliced_ops = [
+            op for s in participants for t in slices[s] for op in t.ops
+        ]
+        def op_key(op):
+            return repr((op.table, op.key, op.kind.value))
+        assert (sorted(map(op_key, sliced_ops))
+                == sorted(op_key(op) for op in txn.ops))
+
+
+_CHILD = """
+import sys
+from repro.serve import shard_of_group
+groups = [0, 1, 7, -3, "user42", "", "warehouse-9", 2**40]
+for n in (2, 3, 5, 8, 13):
+    print([shard_of_group(g, n) for g in groups])
+"""
+
+
+def _routing_trace(hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed,
+               PYTHONPATH=os.pathsep.join(sys.path))
+    out = subprocess.run([sys.executable, "-c", _CHILD], env=env,
+                         capture_output=True, text=True, check=True)
+    return out.stdout
+
+
+class TestStability:
+    def test_routing_identical_across_hashseeds_and_restarts(self):
+        """Fresh processes with different PYTHONHASHSEED values (three
+        restarts) must produce one identical shard map."""
+        traces = {_routing_trace(s) for s in ("0", "1", "424242")}
+        assert len(traces) == 1
+
+    def test_pinned_shard_map(self):
+        """Golden assignments: a remap is a breaking change (it must
+        bump ROUTER_SALT), never an accident."""
+        assert shard_of_group(0, 5) == 3
+        assert shard_of_group(1, 5) == 1
+        assert shard_of_group(7, 5) == 2
+        assert shard_of_group("user42", 5) == 3
+        assert shard_of_group(1, 3) == 2
+        assert shard_of_group("user42", 3) == 1

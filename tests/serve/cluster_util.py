@@ -1,0 +1,95 @@
+"""Shared workload builders for the sharded-cluster test battery.
+
+The cluster's bit-identity story has two legs (docs/sharding.md):
+
+* **replay** — any traffic replays bit-identically from recorded
+  epochs, because per-shard state is a pure function of the epoch
+  slices each shard consumed;
+* **live vs live** — comparing a live ``--shards N`` run against a
+  live ``--shards 1`` run additionally needs *single-writer-per-key*
+  traffic, because the two topologies close epochs at different
+  boundaries and the canonical last writer of a multi-writer key is
+  decided per epoch.
+
+The builders here construct the traffic shapes those tests need:
+single-shard-only (every partitioned key of a transaction owned by one
+shard), optionally single-writer-per-key, plus a deliberately
+cross-shard mix.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import Rng
+from repro.serve import ShardRouter
+from repro.txn import make_transaction, read, write
+
+TABLE = "x"
+
+
+def shard_key_pools(shards: int, per_shard: int, table: str = TABLE):
+    """``per_shard`` integer keys owned by each shard, by router hash."""
+    router = ShardRouter(shards)
+    pools = [[] for _ in range(shards)]
+    k = 0
+    while any(len(p) < per_shard for p in pools):
+        s = router.shard_of_key((table, k))
+        if len(pools[s]) < per_shard:
+            pools[s].append(k)
+        k += 1
+    return pools
+
+
+def make_single_shard_txns(
+    n: int,
+    shards: int,
+    writes_per_txn: int = 2,
+    reads_per_txn: int = 2,
+    single_writer: bool = True,
+    seed: int = 0,
+):
+    """``n`` transactions, each confined to one shard (round-robin).
+
+    With ``single_writer=True`` every key is written by at most one
+    transaction (reads target a never-written tail of each pool), so
+    the final state is invariant to epoch boundaries — the shape the
+    live cluster-vs-single differential requires.  Otherwise writes
+    draw from a small hot pool per shard, giving multi-writer keys.
+    """
+    hot = 8  # per-shard hot-write pool when not single-writer
+    per_shard = writes_per_txn * n + reads_per_txn if single_writer else 64
+    pools = shard_key_pools(shards, per_shard)
+    cursors = [0] * shards
+    rng = Rng(seed)
+    txns = []
+    for i in range(n):
+        home = i % shards
+        pool = pools[home]
+        if single_writer:
+            c = cursors[home]
+            wkeys = pool[c:c + writes_per_txn]
+            cursors[home] = c + writes_per_txn
+            rkeys = pool[-reads_per_txn:]
+        else:
+            wkeys = [pool[int(rng.random() * hot)]
+                     for _ in range(writes_per_txn)]
+            rkeys = [pool[hot + int(rng.random() * (len(pool) - hot))]
+                     for _ in range(reads_per_txn)]
+        ops = ([read(TABLE, k) for k in rkeys]
+               + [write(TABLE, k) for k in sorted(set(wkeys))])
+        txns.append(make_transaction(i + 1, ops))
+    return txns
+
+
+def make_cross_txns(n: int, shards: int, seed: int = 0):
+    """``n`` transactions that each write keys on two different shards."""
+    pools = shard_key_pools(shards, 4 * n + 4)
+    rng = Rng(seed)
+    txns = []
+    for i in range(n):
+        a = i % shards
+        b = (a + 1 + int(rng.random() * (shards - 1))) % shards
+        ka = pools[a][2 * i]
+        kb = pools[b][2 * i + 1]
+        ops = [read(TABLE, ka), write(TABLE, ka), write(TABLE, kb)]
+        txns.append(make_transaction(i + 1, ops))
+    return txns

@@ -119,3 +119,101 @@ class TestValidation:
             EpochBatcher(max_txns=0, max_ms=10.0)
         with pytest.raises(ValueError):
             EpochBatcher(max_txns=1, max_ms=0.0)
+
+
+class TestClusterTopology:
+    """N batchers sharing one id counter and one sink (the cluster shape)."""
+
+    def make_fleet(self, n, max_txns=2, max_ms=10_000.0):
+        sink = asyncio.Queue()
+        counter = iter(range(10_000))
+        draw = lambda: next(counter)  # noqa: E731
+        batchers = [
+            EpochBatcher(max_txns, max_ms, id_source=draw, sink=sink,
+                         meta={"shard": s})
+            for s in range(n)
+        ]
+        return sink, batchers
+
+    def test_shared_ids_are_unique_and_ordered_by_close(self):
+        async def run():
+            sink, batchers = self.make_fleet(3)
+            # Interleave closes across batchers: 1, 0, 2, 0.
+            for b in (1, 1, 0, 0, 2, 2, 0, 0):
+                batchers[b].put(sub(b))
+            epochs = [sink.get_nowait() for _ in range(4)]
+            assert [e.epoch_id for e in epochs] == [0, 1, 2, 3]
+            assert [e.meta["shard"] for e in epochs] == [1, 0, 2, 0]
+            # Sink FIFO order == id order: the dispatcher's invariant.
+            assert sink.qsize() == 0
+        asyncio.run(run())
+
+    def test_idle_batcher_arms_no_timer(self):
+        async def run():
+            sink, batchers = self.make_fleet(3, max_txns=100, max_ms=5.0)
+            batchers[1].put(sub(0))
+            assert batchers[1].timer_armed
+            assert not batchers[0].timer_armed
+            assert not batchers[2].timer_armed
+            epoch = await asyncio.wait_for(sink.get(), timeout=5.0)
+            assert epoch.meta == {"shard": 1}
+            assert epoch.reason == CLOSE_DEADLINE
+            # The deadline that fired disarmed itself; the idle
+            # batchers never armed and never closed anything.
+            assert not any(b.timer_armed for b in batchers)
+            assert [b.epochs_closed for b in batchers] == [0, 1, 0]
+        asyncio.run(run())
+
+    def test_one_deadline_never_closes_another_batcher(self):
+        async def run():
+            sink, batchers = self.make_fleet(2, max_txns=100, max_ms=10.0)
+            batchers[0].put(sub(0))
+            await asyncio.sleep(0.002)
+            # Batcher 1 opens later; batcher 0's earlier deadline must
+            # close only batcher 0's epoch.
+            batchers[1].put(sub(1))
+            first = await asyncio.wait_for(sink.get(), timeout=5.0)
+            assert first.meta == {"shard": 0}
+            assert batchers[1].pending == 1
+            second = await asyncio.wait_for(sink.get(), timeout=5.0)
+            assert second.meta == {"shard": 1}
+            assert (first.epoch_id, second.epoch_id) == (0, 1)
+        asyncio.run(run())
+
+    def test_size_close_cancels_the_deadline_timer(self):
+        async def run():
+            sink, batchers = self.make_fleet(1, max_txns=2)
+            batchers[0].put(sub(0))
+            assert batchers[0].timer_armed
+            batchers[0].put(sub(1))  # size close
+            assert not batchers[0].timer_armed
+        asyncio.run(run())
+
+    def test_fleet_shutdown_sends_one_sentinel_each(self):
+        async def run():
+            sink, batchers = self.make_fleet(3, max_txns=100, max_ms=5.0)
+            batchers[0].put(sub(0))  # partial epoch + armed timer
+            for b in batchers:
+                b.shutdown()
+            assert not any(b.timer_armed for b in batchers)
+            items = [sink.get_nowait() for _ in range(4)]
+            epochs = [e for e in items if e is not None]
+            assert len(epochs) == 1
+            assert epochs[0].reason == CLOSE_DRAIN
+            assert items.count(None) == 3  # one end-of-stream per batcher
+            # A cancelled deadline straggler must find nothing to close.
+            await asyncio.sleep(0.02)
+            assert sink.qsize() == 0
+        asyncio.run(run())
+
+    def test_local_ids_stay_per_batcher_without_id_source(self):
+        async def run():
+            a = EpochBatcher(max_txns=1, max_ms=10_000.0)
+            b = EpochBatcher(max_txns=1, max_ms=10_000.0)
+            a.put(sub(0))
+            b.put(sub(1))
+            a.put(sub(2))
+            assert (await a.next_epoch()).epoch_id == 0
+            assert (await b.next_epoch()).epoch_id == 0
+            assert (await a.next_epoch()).epoch_id == 1
+        asyncio.run(run())
