@@ -105,10 +105,37 @@ def ycsb_workload(scale: Scale, exp: ExperimentConfig, theta: float, seed: int,
         _apply_extensions(w, exp, seed)
         return w
 
-    # Faults never shape the workload (they act at execution time), so
-    # every fault scenario shares one cached build per (cfg, exp, seed).
-    return cached_workload("ycsb", cfg, scale.bundle, exp.with_(faults=None),
-                           seed, build)
+    # Faults and prediction never shape the workload (both act at
+    # execution time), so every fault scenario and both predictor arms
+    # share one cached build per (cfg, exp, seed).
+    return cached_workload("ycsb", cfg, scale.bundle,
+                           exp.with_(faults=None, predict=None), seed, build)
+
+
+def drift_ycsb_workload(scale: Scale, exp: ExperimentConfig, theta: float,
+                        seed: int, drift_every: int | None = None,
+                        records: int | None = None) -> Workload:
+    """YCSB whose Zipf hotspot migrates on a seeded schedule.
+
+    The non-stationary regime ``repro.predict`` targets: the skew shape
+    is unchanged but which keys are hot jumps every ``drift_every``
+    transactions (default: four segments per bundle).
+    """
+    from .workloads import drifting_ycsb_workload
+
+    cfg = YcsbConfig(num_records=records or scale.ycsb_records, theta=theta)
+    every = drift_every or max(1, scale.bundle // 4)
+
+    def build() -> Workload:
+        w = drifting_ycsb_workload(cfg, scale.bundle, seed=seed,
+                                   drift_every=every)
+        _apply_extensions(w, exp, seed)
+        return w
+
+    # drift_every shapes generation but lives outside YcsbConfig, so it
+    # rides in the cache key's kind string.
+    return cached_workload(f"ycsb-drift{every}", cfg, scale.bundle,
+                           exp.with_(faults=None, predict=None), seed, build)
 
 
 def tpcc_workload(scale: Scale, exp: ExperimentConfig, seed: int,
@@ -121,8 +148,8 @@ def tpcc_workload(scale: Scale, exp: ExperimentConfig, seed: int,
         _apply_extensions(w, exp, seed)
         return w
 
-    return cached_workload("tpcc", cfg, scale.bundle, exp.with_(faults=None),
-                           seed, build)
+    return cached_workload("tpcc", cfg, scale.bundle,
+                           exp.with_(faults=None, predict=None), seed, build)
 
 
 def _apply_extensions(w: Workload, exp: ExperimentConfig, seed: int) -> None:

@@ -375,7 +375,12 @@ def cell_artifact_path(cache_dir, key: CellKey) -> Path:
 def write_cell_artifact(cache_dir, key: CellKey, vector: Sequence[float],
                         result: RunResult, exp, scale) -> Path:
     """Persist one finished cell as a validated ``repro.run/1`` artifact."""
-    doc = build_artifact(result, config=exp, workload=key.exp_id)
+    from .runner import policy_of
+
+    policy = policy_of(result)
+    doc = build_artifact(result, config=exp, workload=key.exp_id,
+                         predict=policy.snapshot() if policy is not None
+                         else None)
     doc["cell"] = {
         "schema": CELL_SCHEMA,
         "id": key.cell_id(),

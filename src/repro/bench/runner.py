@@ -126,6 +126,17 @@ def run_system(
             cost = warm_up_history(workload, sim, rng=rng.fork(1))
             prof.pop()
 
+    predict = exp.predict
+    if (predict is not None and predict.enabled and isinstance(system, TSKD)
+            and system.queue_execution != "enforced"):
+        # Adaptive mode re-plans per epoch against live sketch heat; the
+        # enforced CC-free gate assumes one precomputed whole-run
+        # schedule, so it keeps the static path.
+        return _run_adaptive(
+            workload, system, exp, cost, graph, name, record_history,
+            db, tracer, metrics, injector, prof, rng,
+        )
+
     dispatch_filter = None
     progress_hooks = None
     schedule = None
@@ -282,6 +293,172 @@ def run_system(
         # Stash the engine so callers can inspect history / storage.
         object.__setattr__(run, "_engine", engine)
     return run
+
+
+def _run_adaptive(
+    workload: Workload,
+    system: TSKD,
+    exp: ExperimentConfig,
+    cost: CostModel,
+    graph: Optional[ConflictGraph],
+    name: Optional[str],
+    record_history: bool,
+    db,
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+    injector: Optional[FaultInjector],
+    prof: Optional[Profiler],
+    rng: Rng,
+) -> RunResult:
+    """Epochized adaptive execution (``exp.predict``; docs/adaptive.md).
+
+    Instead of one whole-workload schedule, the bundle is cut into
+    ``predict.epoch_txns``-sized epochs planned and executed back to back
+    on one persistent engine — the serving pipeline's structure, driven
+    from the batch runner.  Between epochs the
+    :class:`~repro.predict.policy.OnlinePolicy` decays its sketch,
+    refreshes the hot snapshot that steers the next epoch's TSgen pass,
+    and retunes TsDEFER from witnessed-conflict deltas.  The whole-
+    workload conflict graph is computed once and shared: tsgen ignores
+    neighbours outside the current epoch's transactions.
+
+    The RNG forks mirror the static path (fork(2) for planning, fork(3)
+    for the filter) with a per-epoch sub-fork, so two identical seeded
+    adaptive runs are bit-identical.
+    """
+    from ..predict.policy import HookFanout, OnlinePolicy
+
+    sim = exp.sim
+    k = sim.num_threads
+    predict = exp.predict
+    policy = OnlinePolicy(predict, exp.seed)
+
+    if graph is not None and graph.isolation is not system.isolation:
+        graph = None
+    if graph is None and system.use_tspar:
+        if prof is not None:
+            prof.push("bench.graph")
+        graph = workload.conflict_graph(system.isolation)
+        if prof is not None:
+            prof.pop()
+
+    tsdefer = system.make_filter(k, rng=rng.fork(3))
+    hooks = HookFanout([tsdefer, policy])
+    engine = make_engine(
+        sim,
+        dispatch_filter=tsdefer,
+        progress_hooks=hooks,
+        record_history=record_history,
+        db=db,
+        tracer=tracer,
+        faults=injector,
+        prof=prof,
+    )
+    if tsdefer is not None:
+        tsdefer.table.bind_buffers(engine.buffer_of)
+        if injector is not None and injector.enabled:
+            tsdefer.table.bind_corruption(injector.probe_corrupt)
+        if prof is not None:
+            tsdefer.table.bind_profiler(prof)
+    steering = predict.steer and system.use_tspar
+    if steering:
+        system.tspar.tsgen_kwargs["heat"] = policy
+    if predict.retune and tsdefer is not None:
+        tsdefer.heat = policy
+
+    registry = metrics if metrics is not None else MetricsRegistry()
+    totals = Counters()
+    busy = [0] * k
+    clock = 0
+    queue_retries = 0
+    latencies: list[int] = []
+    retry_counts: list[int] = []
+    merged_residual = 0
+    input_residual = 0
+
+    txns = list(workload)
+    chunk = predict.epoch_txns
+    prep_rng = rng.fork(2)
+    epochs = 0
+    try:
+        for start in range(0, len(txns), chunk):
+            epochs += 1
+            sub = Workload(txns[start:start + chunk],
+                           name=f"{workload.name}-e{epochs}")
+            if prof is not None:
+                prof.push("bench.schedule")
+            plan = system.prepare(sub, k, cost, rng=prep_rng.fork(epochs),
+                                  graph=graph)
+            if prof is not None:
+                prof.pop()
+            schedule = plan.schedule
+            epoch_aborts = 0
+            for phase_idx, buffers in enumerate(plan.phases):
+                result = engine.run(buffers, start_time=clock)
+                clock = result.end_time
+                totals.merge(result.counters)
+                epoch_aborts += result.counters.aborts
+                latencies.extend(result.latencies)
+                retry_counts.extend(result.retry_counts)
+                for i, b in enumerate(result.thread_busy):
+                    busy[i] += b
+                if phase_idx == 0 and schedule is not None:
+                    queue_retries += result.counters.aborts
+            if schedule is not None:
+                merged_residual += schedule.merged_residual
+                input_residual += schedule.input_residual
+                if schedule.stats is not None:
+                    registry.ingest(schedule.stats.as_dict(), prefix="tsgen.")
+            policy.end_epoch(tsdefer, aborts=epoch_aborts,
+                             dispatched=len(sub))
+    finally:
+        if steering:
+            system.tspar.tsgen_kwargs.pop("heat", None)
+
+    contended = engine.protocol.contended
+    latencies.sort()
+    _populate_registry(registry, totals, engine, tsdefer, None,
+                       latencies, retry_counts)
+    if injector is not None:
+        injector.publish(registry)
+    policy.publish(registry)
+    scheduled_pct = None
+    if system.use_tspar:
+        scheduled_pct = (merged_residual / input_residual
+                         if input_residual else 1.0)
+    run = RunResult(
+        name=name or system_name(system),
+        committed=totals.committed,
+        makespan_cycles=clock,
+        retries=totals.aborts,
+        deferrals=totals.deferrals,
+        contended_accesses=contended,
+        wasted_cycles=totals.wasted_cycles,
+        blocked_cycles=totals.blocked_cycles,
+        num_threads=k,
+        thread_busy_cycles=tuple(busy),
+        scheduled_pct=scheduled_pct,
+        queue_retries=queue_retries if system.use_tspar else None,
+        latency_p50=percentile(latencies, 0.50),
+        latency_p95=percentile(latencies, 0.95),
+        latency_p99=percentile(latencies, 0.99),
+        metrics=registry,
+    )
+    _publish_run_gauges(registry, run)
+    object.__setattr__(run, "_policy", policy)
+    if record_history:
+        object.__setattr__(run, "_engine", engine)
+    return run
+
+
+def policy_of(result: RunResult):
+    """Adaptive policy behind a ``predict``-enabled run, or None.
+
+    Used by artifact export to attach the final
+    :meth:`~repro.predict.policy.OnlinePolicy.snapshot` and by tests to
+    inspect steering/retune behaviour.
+    """
+    return getattr(result, "_policy", None)
 
 
 def _populate_registry(

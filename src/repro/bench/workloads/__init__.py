@@ -1,7 +1,12 @@
 """Benchmark workload generators: YCSB, full TPC-C, skew and I/O extensions."""
 
 from .iolat import apply_io_latency
-from .skew import apply_runtime_skew, average_runtime_cycles
+from .skew import (
+    apply_runtime_skew,
+    average_runtime_cycles,
+    drift_offsets,
+    drifting_ycsb_workload,
+)
 from .tpcc import TABLES as TPCC_TABLES
 from .tpcc import TEMPLATES as TPCC_TEMPLATES
 from .tpcc import TpccGenerator
@@ -19,5 +24,7 @@ __all__ = [
     "apply_runtime_skew",
     "assert_tpcc_consistent",
     "average_runtime_cycles",
+    "drift_offsets",
+    "drifting_ycsb_workload",
     "tpcc_violations",
 ]

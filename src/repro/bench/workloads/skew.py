@@ -15,9 +15,10 @@ keys on, keeping estimates coarse-but-correlated rather than oracular.
 
 from __future__ import annotations
 
-from ...common.config import RuntimeSkewConfig, SimConfig
+from ...common.config import RuntimeSkewConfig, SimConfig, YcsbConfig
 from ...common.rng import Rng, zipf_bounded
 from ...txn.workload import Workload
+from .ycsb import YcsbGenerator
 
 
 def average_runtime_cycles(workload: Workload, sim: SimConfig) -> int:
@@ -56,3 +57,47 @@ def apply_runtime_skew(
         klass = int(bound // max(1.0, unit))
         txn.params = {**txn.params, "runtime_class": klass}
     return workload
+
+
+def drift_offsets(segments: int, seed: int) -> list[int]:
+    """Seeded per-segment key offsets for a migrating Zipf hotspot.
+
+    Segment 0 is always offset 0 (the stationary hotspot), so the head
+    of a drifting workload matches the un-drifted generator exactly; each
+    later segment jumps the hotspot to a fresh seeded offset.  Offsets
+    shift the Zipfian *rank* before key scrambling (see
+    :attr:`YcsbGenerator.key_offset`), so any non-zero jump relocates the
+    hot keys to an unrelated region of the table.
+    """
+    if segments <= 0:
+        raise ValueError(f"segments must be positive, got {segments}")
+    rng = Rng(seed * 1009 + 7)
+    return [0] + [rng.randint(1, (1 << 32) - 1) for _ in range(segments - 1)]
+
+
+def drifting_ycsb_workload(
+    config: YcsbConfig,
+    n: int,
+    seed: int = 0,
+    drift_every: int = 256,
+    name: str = "ycsb-drift",
+) -> Workload:
+    """YCSB bundle whose Zipf hotspot migrates on a seeded schedule.
+
+    Every ``drift_every`` transactions the generator's ``key_offset``
+    jumps to the next :func:`drift_offsets` entry — the skew *shape*
+    (theta) is unchanged, but which keys are hot moves.  This is the
+    non-stationary regime the online predictor is built for: a static
+    tuning fitted to segment 0 goes stale the moment the hotspot moves.
+    Deterministic per (config, n, seed, drift_every).
+    """
+    if drift_every <= 0:
+        raise ValueError(f"drift_every must be positive, got {drift_every}")
+    gen = YcsbGenerator(config, seed=seed)
+    segments = -(-n // drift_every)
+    offsets = drift_offsets(segments, seed)
+    txns = []
+    for i in range(n):
+        gen.key_offset = offsets[i // drift_every]
+        txns.append(gen.make_transaction(i))
+    return Workload(txns, name=name)

@@ -27,9 +27,16 @@ class YcsbGenerator:
         self.config = config
         self._rng = Rng(seed * 7919 + 13)
         self._zipf = ZipfianGenerator(config.num_records, config.theta, self._rng)
+        #: Added to the Zipfian rank before scrambling: shifting it moves
+        #: the *hot* end of the distribution to a different key region
+        #: without touching the draw sequence, so a drifting workload
+        #: stays a pure function of (config, seed, offset schedule).
+        #: Zero keeps keys bit-identical to the un-drifted generator.
+        self.key_offset = 0
 
     def _next_key(self) -> int:
-        return fnv_hash64(self._zipf.next()) % self.config.num_records
+        return (fnv_hash64(self._zipf.next() + self.key_offset)
+                % self.config.num_records)
 
     def make_transaction(self, tid: int) -> Transaction:
         """One YCSB transaction: ops_per_txn distinct keys, mixed R/W.

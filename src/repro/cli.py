@@ -61,6 +61,7 @@ from .common.config import (
     ConfigError,
     ExperimentConfig,
     IoLatencyConfig,
+    PredictConfig,
     RuntimeSkewConfig,
     ServeConfig,
     SimConfig,
@@ -138,6 +139,7 @@ def _build(args) -> tuple:
         io=IoLatencyConfig(l_io=args.io),
         bundle_size=args.bundle,
         seed=args.seed,
+        predict=PredictConfig() if getattr(args, "adaptive", False) else None,
     )
     if args.workload == "ycsb":
         gen = YcsbGenerator(YcsbConfig(num_records=args.records,
@@ -221,6 +223,10 @@ def _run_open_system(workload, exp, args, tracer, prof=None):
 
 def cmd_run(args) -> int:
     workload, exp = _build(args)
+    if args.adaptive and args.offered_tps:
+        raise SystemExit(
+            "--adaptive drives the epoched batch path (repro.predict); it "
+            "does not combine with --offered-tps arrival streams")
     # Open output sinks before the (potentially long) run so a bad path
     # fails immediately instead of discarding finished work.
     if args.export_json:
@@ -251,6 +257,16 @@ def cmd_run(args) -> int:
         if tracer is not None:
             tracer.close()
     _print_result(result)
+    from .bench.runner import policy_of
+
+    policy = policy_of(result)
+    if policy is not None:
+        snap = policy.snapshot()
+        print(f"predict: {snap['epoch']} epochs  "
+              f"hot_keys={snap['hot_keys']}  "
+              f"boosts={snap['defer_boosts']}  "
+              f"retunes={len(snap['retunes'])}  "
+              f"drift_events={snap['drift_events']}")
     if prof is not None:
         print()
         print(render_profile(prof.to_dict()))
@@ -265,7 +281,8 @@ def cmd_run(args) -> int:
         export_run(args.export_json, result, config=exp,
                    trace_path=args.trace, workload=args.workload,
                    open_system=open_system,
-                   profile=prof.to_dict() if prof is not None else None)
+                   profile=prof.to_dict() if prof is not None else None,
+                   predict=policy.snapshot() if policy is not None else None)
         print(f"artifact: {args.export_json}")
     return 0
 
@@ -531,12 +548,20 @@ async def _serve_main(serve_cfg: ServeConfig, exp: ExperimentConfig,
 
 
 def cmd_serve(args) -> int:
+    if args.trace and args.shards > 1:
+        # Span tracing is per-engine; shard workers run in their own
+        # processes and cannot stream into one JSONL sink.  Fail before
+        # binding the port so scripts see a clean config error (exit 2).
+        print("cross-process tracing unsupported; use --shards 1",
+              file=sys.stderr)
+        return 2
     serve_cfg = _build_serve_config(args)
     exp = ExperimentConfig(
         sim=SimConfig(num_threads=args.threads, cc=args.cc,
                       engine=args.engine),
         skew=None,
         seed=args.seed,
+        predict=PredictConfig() if args.adaptive else None,
     )
     return asyncio.run(_serve_main(serve_cfg, exp, args))
 
@@ -569,6 +594,8 @@ def cmd_loadgen(args) -> int:
             clients=args.clients, mode=args.mode,
             offered_tps=args.offered_tps, seed=args.seed,
             drain=args.drain, trace_path=args.trace,
+            flash_every_s=args.flash_every, flash_burst_s=args.flash_burst,
+            flash_mult=args.flash_mult,
         ))
     except ConnectionError as e:
         raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {e}")
@@ -645,6 +672,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_run.add_argument("--profile", action="store_true",
                        help="profile the run: print a per-section "
                             "self-time table (repro.obs.prof)")
+    p_run.add_argument("--adaptive", action="store_true",
+                       help="enable the repro.predict conflict predictor: "
+                            "epoched execution with sketch-steered TSgen "
+                            "assignment and online TsDEFER retuning")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare systems on one bundle")
@@ -721,6 +752,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_srv.add_argument("--exit-on-drain", action="store_true",
                        help="shut the server down after the first drain "
                             "frame (CI smoke runs)")
+    p_srv.add_argument("--adaptive", action="store_true",
+                       help="enable the repro.predict conflict predictor: "
+                            "sketch-fed steering/retuning per engine and "
+                            "hot-first admission shedding under "
+                            "backpressure")
     p_srv.set_defaults(func=cmd_serve)
 
     p_lg = sub.add_parser(
@@ -753,6 +789,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_lg.add_argument("--trace", metavar="PATH",
                       help="write one JSON line per transaction record "
                            "(client-side latency/attempts/rejects)")
+    p_lg.add_argument("--flash-every", type=float, default=None,
+                      metavar="SEC",
+                      help="open-loop flash crowds: burst the offered "
+                           "rate on this period (seeded, deterministic)")
+    p_lg.add_argument("--flash-burst", type=float, default=1.0,
+                      metavar="SEC", help="flash-crowd burst length")
+    p_lg.add_argument("--flash-mult", type=float, default=4.0,
+                      help="offered-rate multiplier inside a burst")
     p_lg.set_defaults(func=cmd_loadgen)
 
     p_tune = sub.add_parser("tune", help="tune TsDEFER for a workload")

@@ -394,6 +394,88 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class PredictConfig:
+    """Conflict prediction + online adaptation (:mod:`repro.predict`).
+
+    A decayed count-min sketch over recently committed write sets feeds a
+    per-transaction conflict score.  The :class:`~repro.predict.OnlinePolicy`
+    spends that signal three ways, each individually switchable: ``steer``
+    biases TSgen placement toward queues already holding a transaction's
+    predicted-hot keys (same-queue conflicts serialise instead of
+    aborting), ``retune`` adjusts ``#lookups``/``deferp%`` per epoch from
+    observed conflict-witness rates (an online extension of
+    :mod:`repro.core.autotune`), and ``admission`` rejects hot,
+    conflict-prone transactions first under serve backpressure.
+    """
+
+    enabled: bool = True
+    #: Count-min sketch geometry.
+    width: int = 1_024
+    depth: int = 4
+    #: Multiplicative per-epoch decay of every sketch cell; 1.0 never
+    #: forgets, smaller values track a moving hot set faster.
+    decay: float = 0.5
+    #: Decayed estimate at or above which a key counts as hot.
+    hot_threshold: float = 3.0
+    #: Candidate keys the sketch tracks for heat reporting / steering.
+    hot_capacity: int = 64
+    #: Hot keys exported in the live stats frame and artifacts.
+    top_k: int = 8
+    steer: bool = True
+    retune: bool = True
+    admission: bool = True
+    #: Per-transaction knob boost: when TsDEFER checks a transaction
+    #: touching a currently-hot key, its defer decision uses at least
+    #: these knob values instead of the base config.  Cold traffic keeps
+    #: the cheap defaults; the deferment budget concentrates where the
+    #: sketch says conflicts live.
+    hot_num_lookups: int = 5
+    hot_defer_prob: float = 1.0
+    #: Batch mode: transactions per adaptive epoch (the granularity at
+    #: which the policy observes, decays, and retunes).
+    epoch_txns: int = 256
+    #: Consecutive same-direction epochs required before a retune fires.
+    hysteresis_epochs: int = 2
+    #: Conflict-witness-rate deadband: below ``witness_lo`` the controller
+    #: steps the TsDEFER knobs down, above ``witness_hi`` up, in between
+    #: it holds (hysteresis resets).
+    witness_lo: float = 0.02
+    witness_hi: float = 0.20
+    #: Conflict-score weight of read-set keys relative to write-set keys.
+    read_weight: float = 0.5
+    #: Queue occupancy (pending / queue_limit) above which admission
+    #: starts rejecting hot transactions first.
+    admission_occupancy: float = 0.75
+
+    def __post_init__(self):
+        if self.width <= 0 or self.depth <= 0:
+            raise ConfigError("sketch width and depth must be positive")
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigError(f"decay must be in (0, 1], got {self.decay}")
+        if self.hot_threshold <= 0:
+            raise ConfigError("hot_threshold must be positive")
+        if self.hot_capacity <= 0 or self.top_k <= 0:
+            raise ConfigError("hot_capacity and top_k must be positive")
+        if self.epoch_txns <= 0:
+            raise ConfigError("epoch_txns must be positive")
+        if self.hysteresis_epochs < 1:
+            raise ConfigError("hysteresis_epochs must be >= 1")
+        if not 0.0 <= self.witness_lo <= self.witness_hi:
+            raise ConfigError("need 0 <= witness_lo <= witness_hi")
+        if self.read_weight < 0:
+            raise ConfigError("read_weight must be >= 0")
+        if not 0.0 <= self.admission_occupancy <= 1.0:
+            raise ConfigError("admission_occupancy must be in [0, 1]")
+        if self.hot_num_lookups < 1:
+            raise ConfigError("hot_num_lookups must be >= 1")
+        if not 0.0 <= self.hot_defer_prob <= 1.0:
+            raise ConfigError("hot_defer_prob must be in [0, 1]")
+
+    def with_(self, **kw) -> "PredictConfig":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Top-level bundle of everything one experiment run needs."""
 
@@ -409,6 +491,10 @@ class ExperimentConfig:
     #: by the bench runner.  Typed loosely to keep repro.common free of a
     #: dependency on repro.faults; None means no faults.
     faults: Optional[object] = None
+    #: Optional conflict prediction + online adaptation.  None (the
+    #: default) keeps every run bit-identical to the pre-predictor code
+    #: paths; artifacts omit the field entirely when unset.
+    predict: Optional[PredictConfig] = None
 
     def with_(self, **kw) -> "ExperimentConfig":
         return replace(self, **kw)

@@ -36,6 +36,22 @@ DEFAULT_GRID: tuple[TsDeferConfig, ...] = tuple(
 )
 
 
+def grid_axes(
+    grid: Sequence[TsDeferConfig] = DEFAULT_GRID,
+) -> dict[str, tuple]:
+    """Sorted unique values along each tunable axis of ``grid``.
+
+    The online controller (:mod:`repro.predict.policy`) steps one notch
+    at a time along these axes rather than re-racing the full grid, so
+    offline tuner and online retuner always agree on the legal settings.
+    """
+    return {
+        "num_lookups": tuple(sorted({c.num_lookups for c in grid})),
+        "defer_prob": tuple(sorted({c.defer_prob for c in grid})),
+        "future_depth": tuple(sorted({c.future_depth for c in grid})),
+    }
+
+
 @dataclass
 class TuningTrial:
     """One measured (configuration, sample size) pilot run."""

@@ -89,6 +89,13 @@ class TsDefer:
         )
         self.stats = TsDeferStats()
         self._defer_count: dict[int, int] = defaultdict(int)
+        #: Optional conflict predictor (:class:`repro.predict.OnlinePolicy`).
+        #: When set, transactions touching a predicted-hot key are checked
+        #: with the policy's boosted knobs (``hot_num_lookups`` /
+        #: ``hot_defer_prob``) instead of the base config — the deferment
+        #: budget concentrates on the traffic the sketch says conflicts.
+        #: None keeps filtering bit-identical to the unpredicted path.
+        self.heat = None
 
     def publish(self, registry) -> None:
         """Push the filter's tallies into a metrics registry.
@@ -125,9 +132,14 @@ class TsDefer:
         if not cfg.enabled:
             return False, 0
         self.stats.checks += 1
+        num_lookups, defer_prob = cfg.num_lookups, cfg.defer_prob
+        if self.heat is not None and self.heat.hot_keys(txn):
+            num_lookups = max(num_lookups, self.heat.hot_num_lookups)
+            defer_prob = max(defer_prob, self.heat.hot_defer_prob)
+            self.heat.note_boosted()
         items = self.table.probe(
             thread_id,
-            cfg.num_lookups,
+            num_lookups,
             scope=cfg.lookup_scope,
             future_depth=cfg.future_depth,
             now=now,
@@ -156,7 +168,7 @@ class TsDefer:
         if self._defer_count[txn.tid] >= cfg.max_defers:
             self.stats.max_defer_hits += 1
             return False, cost
-        if not self._rng.chance(cfg.defer_prob):
+        if not self._rng.chance(defer_prob):
             return False, cost
         self._defer_count[txn.tid] += 1
         self.stats.deferrals += 1

@@ -112,6 +112,7 @@ def tsgen(
     fallback_queues: int | None = None,
     balance_cap: float = 1.10,
     dependencies: "DependencySet | None" = None,
+    heat: "object | None" = None,
 ) -> Schedule:
     """Refine ``plan`` into a transaction schedule for ``workload``.
 
@@ -148,6 +149,18 @@ def tsgen(
     placement check; with a partition plan, cross-partition dependencies
     among partition members are best-effort (the paper assigns those to
     the partitioner) — ``check=True`` verifies the result either way.
+
+    ``heat`` (optional) is a conflict predictor exposing
+    ``hot_keys(txn) -> frozenset`` and ``note_steered()`` — normally an
+    :class:`~repro.predict.policy.OnlinePolicy`.  When set, candidate
+    queues that already hold transactions sharing the candidate's
+    predicted-hot keys are tried *first* (stable re-sort of the
+    ascending-load order): same-queue conflicts run serially and are
+    exempt from ckRCF, so co-locating a predicted clash raises the
+    scheduled percentage instead of bouncing the candidate back to the
+    residual.  All placement invariants (balance cap, dependency floor,
+    ckRCF) are checked unchanged; ``None`` (default) is bit-identical to
+    the pre-predictor behaviour.
     """
     if residual_order not in RESIDUAL_ORDERS:
         raise SchedulingError(f"unknown residual order {residual_order!r}")
@@ -185,6 +198,8 @@ def tsgen(
     # appended intervals.
     len_ = [sum(time_of(t) for t in part) for part in plan.parts]
     sched_len = [0] * k
+    # Predicted-hot keys already present in each queue (steering only).
+    queue_hot: list[set] = [set() for _ in range(k)]
 
     def append(queue_idx: int, t: Transaction) -> None:
         start = sched_len[queue_idx]
@@ -193,6 +208,8 @@ def tsgen(
         intervals[t.tid] = Interval(start, end)
         queue_of[t.tid] = queue_idx
         sched_len[queue_idx] = end
+        if heat is not None:
+            queue_hot[queue_idx].update(heat.hot_keys(t))
 
     r_vec = _order_residual(plan.residual, residual_order, rng, graph, time_of)
     if dependencies is not None and dependencies:
@@ -266,7 +283,20 @@ def tsgen(
         pad = int(slack * duration)
         placed = False
         by_load = sorted(range(k), key=len_.__getitem__)
-        for try_idx, l in enumerate(by_load[:tries]):
+        candidates = by_load[:tries]
+        if heat is not None:
+            t_hot = heat.hot_keys(t_star)
+            if t_hot:
+                # Stable re-sort: queues sharing the candidate's hot keys
+                # first (most overlap wins), load order as the tiebreak.
+                steered = sorted(
+                    candidates,
+                    key=lambda l: -len(queue_hot[l] & t_hot),
+                )
+                if steered != candidates:
+                    candidates = steered
+                    heat.note_steered()
+        for try_idx, l in enumerate(candidates):
             if len_[l] + duration > cap:
                 stats.balance_cap_skips += 1
                 continue  # would stretch the makespan: leave for residual
@@ -338,6 +368,7 @@ def tsgen_from_scratch(
     residual_order: str = "random",
     check: bool = False,
     dependencies: "DependencySet | None" = None,
+    heat: "object | None" = None,
 ) -> Schedule:
     """Compute a schedule with no input partitioning (TSKD[0] mode).
 
@@ -349,7 +380,7 @@ def tsgen_from_scratch(
     plan = PartitionPlan(parts=[[] for _ in range(k)], residual=list(workload))
     return tsgen(workload, plan, cost, graph=graph, rng=rng,
                  residual_order=residual_order, check=check,
-                 dependencies=dependencies)
+                 dependencies=dependencies, heat=heat)
 
 
 def _order_residual(

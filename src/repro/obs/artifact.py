@@ -106,6 +106,23 @@ _EPOCH_FIELDS: dict[str, tuple[type, ...]] = {
 }
 
 
+#: Required keys of the optional ``predict`` section (adaptive runs only;
+#: :meth:`repro.predict.policy.OnlinePolicy.snapshot`).
+_PREDICT_FIELDS: dict[str, tuple[type, ...]] = {
+    "epoch": (int,),
+    "commits_observed": (int,),
+    "hot_keys": (int,),
+    "heat_total": (int, float),
+    "top_k": (list,),
+    "steer_reorders": (int,),
+    "defer_boosts": (int,),
+    "admission_checked": (int,),
+    "admission_rejected_hot": (int,),
+    "drift_events": (int,),
+    "retunes": (list,),
+}
+
+
 class ArtifactError(ReproError):
     """An artifact failed schema validation."""
 
@@ -146,7 +163,13 @@ def _config_to_dict(config) -> Any:
     if config is None:
         return None
     if is_dataclass(config) and not isinstance(config, type):
-        return asdict(config)
+        doc = asdict(config)
+        # ExperimentConfig.predict is None unless prediction is enabled;
+        # dropping the null keeps non-adaptive artifacts byte-identical
+        # to those written before the field existed.
+        if doc.get("predict", ...) is None:
+            doc.pop("predict")
+        return doc
     return config
 
 
@@ -158,6 +181,7 @@ def build_artifact(
     workload: Optional[str] = None,
     open_system: Optional[Mapping] = None,
     profile: Optional[Mapping] = None,
+    predict: Optional[Mapping] = None,
 ) -> dict:
     """Assemble the artifact document for one run.
 
@@ -165,7 +189,9 @@ def build_artifact(
     by :meth:`repro.sim.stream.OpenSystemResult.to_dict` when the run was
     driven by a timed arrival stream.  ``profile`` is the optional
     section self-time table from :meth:`repro.obs.prof.Profiler.to_dict`
-    when the run was profiled.
+    when the run was profiled.  ``predict`` is the optional final policy
+    snapshot from :meth:`repro.predict.policy.OnlinePolicy.snapshot`
+    when the run was adaptive.
     """
     from .. import __version__
 
@@ -184,6 +210,8 @@ def build_artifact(
         doc["open_system"] = dict(open_system)
     if profile is not None:
         doc["profile"] = dict(profile)
+    if predict is not None:
+        doc["predict"] = dict(predict)
     return doc
 
 
@@ -196,11 +224,13 @@ def export_run(
     workload: Optional[str] = None,
     open_system: Optional[Mapping] = None,
     profile: Optional[Mapping] = None,
+    predict: Optional[Mapping] = None,
 ) -> dict:
     """Build, validate, and write the artifact; returns the document."""
     doc = build_artifact(result, metrics=metrics, config=config,
                          trace_path=trace_path, workload=workload,
-                         open_system=open_system, profile=profile)
+                         open_system=open_system, profile=profile,
+                         predict=predict)
     validate_artifact(doc)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -215,13 +245,15 @@ def build_serve_artifact(
     metrics: Optional[MetricsRegistry] = None,
     config=None,
     shards: Optional[Mapping] = None,
+    predict: Optional[Mapping] = None,
 ) -> dict:
     """Assemble the ``repro.serve/1`` document for one serving session.
 
     ``shards`` is the optional cluster section a sharded server
     (``serve --shards N``) adds: a shard count plus per-shard liveness
-    and throughput totals.  Single-engine artifacts omit it, so the
-    schema stays backwards compatible.
+    and throughput totals.  ``predict`` is the optional final policy
+    snapshot of an adaptive session.  Single-engine static artifacts
+    omit both, so the schema stays backwards compatible.
     """
     from .. import __version__
 
@@ -237,6 +269,8 @@ def build_serve_artifact(
     }
     if shards is not None:
         doc["shards"] = dict(shards)
+    if predict is not None:
+        doc["predict"] = dict(predict)
     return doc
 
 
@@ -248,10 +282,12 @@ def export_serve(
     metrics: Optional[MetricsRegistry] = None,
     config=None,
     shards: Optional[Mapping] = None,
+    predict: Optional[Mapping] = None,
 ) -> dict:
     """Build, validate, and write a serve artifact; returns the document."""
     doc = build_serve_artifact(server_info, summary, epochs,
-                               metrics=metrics, config=config, shards=shards)
+                               metrics=metrics, config=config, shards=shards,
+                               predict=predict)
     validate_serve_artifact(doc)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -312,6 +348,9 @@ def validate_artifact(doc: Mapping) -> None:
     profile = doc.get("profile")
     if profile is not None:
         _validate_profile(profile)
+    predict = doc.get("predict")
+    if predict is not None:
+        _validate_section(predict, _PREDICT_FIELDS, "predict")
 
 
 def _validate_profile(profile) -> None:
@@ -366,6 +405,9 @@ def validate_serve_artifact(doc: Mapping) -> None:
     shards = doc.get("shards")
     if shards is not None:
         _validate_shards(shards)
+    predict = doc.get("predict")
+    if predict is not None:
+        _validate_section(predict, _PREDICT_FIELDS, "predict")
     _validate_metrics(doc)
 
 

@@ -121,6 +121,31 @@ def render_dashboard(stats: dict) -> str:
     if reasons:
         lines.append("epochs closed: " + "  ".join(
             f"{reason}={n}" for reason, n in sorted(reasons.items())))
+    predict = stats.get("predict")
+    if predict is not None:
+        lines.append(
+            f"predict: epoch {predict.get('epoch', 0)}   "
+            f"hot keys {predict.get('hot_keys', 0)}   "
+            f"heat {predict.get('heat_total', 0.0):,.1f}   "
+            f"boosts {predict.get('defer_boosts', 0):,}   "
+            f"shed {predict.get('admission_rejected_hot', 0):,}   "
+            f"drift events {predict.get('drift_events', 0)}"
+        )
+        top = predict.get("top_k") or []
+        if top:
+            lines.append("  hottest: " + "  ".join(
+                f"{key}≈{est:g}" for key, est in top[:5]))
+        knobs = predict.get("knobs")
+        retunes = predict.get("retunes") or []
+        if knobs:
+            line = (f"  knobs: #lookups={knobs['num_lookups']} "
+                    f"deferp={knobs['defer_prob']}")
+            if retunes:
+                last = retunes[-1]
+                line += (f"   last retune: {last['action']} -> "
+                         f"({last['num_lookups']}, {last['defer_prob']}) "
+                         f"@ epoch {last['epoch']}")
+            lines.append(line)
     metrics = stats.get("metrics")
     if metrics:
         counters = metrics.get("counters", {})

@@ -1,0 +1,24 @@
+"""Conflict prediction + online adaptive scheduling (ISSUE 10).
+
+A seeded decayed count-min sketch learns the recently-hot write set from
+the engine commit path; :class:`OnlinePolicy` turns that heat into three
+per-epoch actions — TSgen residual steering, TsDEFER knob retuning with
+hysteresis, and admission prioritisation under serve backpressure.  With
+``ExperimentConfig.predict`` unset (the default), no code path here runs
+and every run is bit-identical to the pre-predictor tree.
+"""
+
+from .policy import HookFanout, OnlinePolicy, make_policy
+from .score import conflict_score, predicted_hot_keys
+from .sketch import CANDIDATE_MIN, DecayedCountMinSketch, key_fingerprint
+
+__all__ = [
+    "CANDIDATE_MIN",
+    "DecayedCountMinSketch",
+    "HookFanout",
+    "OnlinePolicy",
+    "conflict_score",
+    "key_fingerprint",
+    "make_policy",
+    "predicted_hot_keys",
+]

@@ -1,0 +1,46 @@
+"""Per-transaction conflict scores over the decayed write-set sketch.
+
+A transaction is conflict-prone to the degree that its accesses land on
+keys other transactions have recently *written*: a write on a hot key
+conflicts with both readers and writers, a read only with writers, so
+reads are discounted by ``read_weight``.  The score is a plain sum of
+sketch estimates — cheap (``|access_set| * depth`` hash probes), purely
+deterministic, and an upper bound by the count-min guarantee, which is
+the right bias for admission control: we may occasionally treat a cold
+transaction as hot, never the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .sketch import DecayedCountMinSketch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..txn.transaction import Transaction
+
+
+def conflict_score(
+    txn: "Transaction",
+    sketch: DecayedCountMinSketch,
+    read_weight: float = 0.5,
+) -> float:
+    """Predicted conflict mass of ``txn`` against recent committed writes."""
+    est = sketch.estimate
+    score = 0.0
+    for key in txn.write_set:
+        score += est(key)
+    if read_weight:
+        for key in txn.read_set:
+            score += read_weight * est(key)
+    return score
+
+
+def predicted_hot_keys(
+    txn: "Transaction",
+    sketch: DecayedCountMinSketch,
+    threshold: float,
+) -> frozenset:
+    """The subset of ``txn``'s accesses whose estimate reaches ``threshold``."""
+    est = sketch.estimate
+    return frozenset(k for k in txn.access_set if est(k) >= threshold)

@@ -33,7 +33,13 @@ See docs/serving.md for the protocol and epoch lifecycle.
 from .batcher import CLOSE_DEADLINE, CLOSE_DRAIN, CLOSE_SIZE, Epoch, EpochBatcher, Submission
 from .cluster import ClusterServer, replay_cluster
 from .coordinator import agreed_order, shard_slice, slice_epoch
-from .loadgen import LoadgenReport, TxnRecord, poisson_schedule, run_loadgen
+from .loadgen import (
+    LoadgenReport,
+    TxnRecord,
+    flash_crowd_schedule,
+    poisson_schedule,
+    run_loadgen,
+)
 from .pipeline import (
     SERVABLE_SYSTEMS,
     EpochExecutor,
@@ -99,6 +105,7 @@ __all__ = [
     "agreed_order",
     "decode_frame",
     "encode_frame",
+    "flash_crowd_schedule",
     "make_servable_system",
     "poisson_schedule",
     "replay_cluster",

@@ -153,6 +153,46 @@ class ClusterServer(ServeServer):
         #: its pipe just like a crash would, so the artifact must
         #: record who was alive *before* shutdown tore everyone down.
         self._alive_at_drain: Optional[dict[int, bool]] = None
+        from ..predict.policy import make_policy
+        from ..predict.sketch import DecayedCountMinSketch
+
+        #: Coordinator-side adaptive view (repro.predict).  Each shard
+        #: worker adapts locally (its EpochExecutor builds its own policy
+        #: from exp.predict); the parent additionally keeps one sketch
+        #: per shard — fed from the commit outcomes it already holds, so
+        #: no extra wire traffic — and merges them at every epoch
+        #: boundary into this policy for admission shedding and the
+        #: stats/artifact predict section.
+        self._parent_policy = make_policy(exp.predict, exp.seed)
+        self._shard_sketches: dict[int, DecayedCountMinSketch] = {}
+        if self._parent_policy is not None:
+            p = exp.predict
+            self._shard_sketches = {
+                s: DecayedCountMinSketch(
+                    width=p.width, depth=p.depth, decay=p.decay,
+                    seed=exp.seed, hot_capacity=p.hot_capacity,
+                )
+                for s in range(serve.shards)
+            }
+
+    def _admission_policy(self):
+        return self._parent_policy
+
+    def _feed_predict(self, epoch: Epoch, attempts: dict, shard_of) -> None:
+        """Fold an epoch's committed write sets into the per-shard
+        sketches, then refresh the coordinator's merged view."""
+        policy = self._parent_policy
+        if policy is None:
+            return
+        for sub in epoch.subs:
+            if sub.tid in attempts:
+                policy.commits_observed += 1
+                sketch = self._shard_sketches[shard_of(sub.tid)]
+                for key in sub.txn.write_set:
+                    sketch.update(key)
+        for sketch in self._shard_sketches.values():
+            sketch.decay()
+        policy.adopt_merged(self._shard_sketches.values())
 
     def _draw_epoch_id(self) -> int:
         eid = self._next_epoch_id
@@ -250,6 +290,7 @@ class ClusterServer(ServeServer):
             start_cycles=result.start_cycles, end_cycles=result.end_cycles,
             committed=len(result.attempts), aborts=result.aborts,
         )
+        self._feed_predict(epoch, result.attempts, lambda tid: shard_id)
         for sub in epoch.subs:
             self._resolve_sub(sub, epoch, result.attempts, begun, done,
                               shard=shard_id, cross=False)
@@ -305,6 +346,7 @@ class ClusterServer(ServeServer):
             start_cycles=min(r.start_cycles for r in results),
             end_cycles=end_cycles, committed=len(attempts), aborts=aborts,
         )
+        self._feed_predict(epoch, attempts, lambda tid: homes[tid])
         for sub in epoch.subs:
             self._resolve_sub(sub, epoch, attempts, begun, done,
                               shard=homes[sub.tid], cross=True)
@@ -441,7 +483,7 @@ class ClusterServer(ServeServer):
         return max((s.end_cycles for s in self.shards), default=0)
 
     def stats(self) -> dict:
-        return {
+        doc = {
             "submitted": self._submitted,
             "admitted": self._admitted,
             "rejected": self._rejected,
@@ -467,6 +509,9 @@ class ClusterServer(ServeServer):
             "shards": self._shards_section(),
             "metrics": self.metrics.to_dict(),
         }
+        if self._parent_policy is not None:
+            doc["predict"] = self._parent_policy.snapshot()
+        return doc
 
     def _reasons(self) -> dict:
         merged: dict[str, int] = {}
@@ -543,6 +588,7 @@ class ClusterServer(ServeServer):
             metrics=self.metrics,
             config=self.exp,
             shards=self._shards_section(),
+            predict=self._predict_section(),
         )
 
     def _export(self, path: str) -> dict:
@@ -554,6 +600,7 @@ class ClusterServer(ServeServer):
             metrics=self.metrics,
             config=self.exp,
             shards=self._shards_section(),
+            predict=self._predict_section(),
         )
 
 

@@ -57,6 +57,42 @@ def poisson_schedule(n: int, offered_tps: float, seed: int) -> list[float]:
     return schedule
 
 
+def flash_crowd_schedule(
+    n: int,
+    offered_tps: float,
+    seed: int,
+    every_s: float,
+    burst_s: float,
+    mult: float,
+) -> list[float]:
+    """Poisson arrivals with a periodic flash-crowd rate multiplier.
+
+    Every ``every_s`` seconds the offered rate jumps to ``mult *
+    offered_tps`` for ``burst_s`` seconds, then falls back — a seeded,
+    repeating flash crowd.  Each inter-arrival gap is drawn at the rate
+    in effect when it starts (piecewise-constant thinning), so the
+    schedule is a pure function of the arguments: same seed, same
+    instants, byte-for-byte.  ``mult=1`` degenerates to
+    :func:`poisson_schedule` exactly (same draw sequence).
+    """
+    if offered_tps <= 0:
+        raise ValueError(f"offered_tps must be positive, got {offered_tps}")
+    if every_s <= 0 or burst_s < 0 or burst_s > every_s:
+        raise ValueError(
+            f"need 0 <= burst_s <= every_s, got {burst_s}/{every_s}")
+    if mult < 1.0:
+        raise ValueError(f"flash multiplier must be >= 1, got {mult}")
+    rng = Rng(seed)
+    clock = 0.0
+    schedule = []
+    for _ in range(n):
+        in_flash = (clock % every_s) < burst_s
+        rate = offered_tps * (mult if in_flash else 1.0)
+        clock += -(1.0 / rate) * math.log(max(rng.random(), 1e-12))
+        schedule.append(clock)
+    return schedule
+
+
 @dataclass
 class TxnRecord:
     """Client-side record of one transaction's trip."""
@@ -204,6 +240,9 @@ async def run_loadgen(
     drain: bool = False,
     max_retries: int = 1_000,
     trace_path: Optional[str] = None,
+    flash_every_s: Optional[float] = None,
+    flash_burst_s: float = 1.0,
+    flash_mult: float = 4.0,
 ) -> LoadgenReport:
     """Drive ``transactions`` at a server and report what happened.
 
@@ -214,6 +253,10 @@ async def run_loadgen(
     ``trace_path`` writes one JSON line per transaction record after the
     run (client-side status, epoch, attempts, rejects, latency) — the
     wire-level counterpart of the server's span log.
+
+    ``flash_every_s`` switches the open-loop schedule to
+    :func:`flash_crowd_schedule`: a periodic seeded burst multiplying the
+    offered rate by ``flash_mult`` for ``flash_burst_s`` seconds.
     """
     if clients <= 0:
         raise ValueError(f"clients must be positive, got {clients}")
@@ -221,6 +264,8 @@ async def run_loadgen(
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if mode == "open" and (offered_tps is None or offered_tps <= 0):
         raise ValueError("open-loop mode needs a positive offered_tps")
+    if flash_every_s is not None and mode != "open":
+        raise ValueError("flash crowds need open-loop mode (--mode open)")
 
     conns: list[_Client] = []
     for _ in range(clients):
@@ -229,8 +274,14 @@ async def run_loadgen(
         client.start()
         conns.append(client)
 
-    schedule = (poisson_schedule(len(transactions), offered_tps, seed)
-                if mode == "open" else None)
+    if mode != "open":
+        schedule = None
+    elif flash_every_s is not None:
+        schedule = flash_crowd_schedule(
+            len(transactions), offered_tps, seed,
+            every_s=flash_every_s, burst_s=flash_burst_s, mult=flash_mult)
+    else:
+        schedule = poisson_schedule(len(transactions), offered_tps, seed)
     started = time.monotonic()
 
     async def drive(ci: int) -> list[TxnRecord]:

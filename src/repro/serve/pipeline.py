@@ -150,7 +150,19 @@ class EpochExecutor:
         #: the engine's usual lazy-ensure path).
         self.db = db if db is not None else Database()
         tsdefer = self.tskd.make_filter(self.k, rng=Rng(exp.seed).fork(3))
-        hooks = [self.commit_log] if tsdefer is None else [tsdefer, self.commit_log]
+        from ..predict.policy import make_policy
+
+        #: Online adaptive policy (repro.predict), or None for a static
+        #: server.  When present it observes commits via the hook fanout,
+        #: steers TsPAR through tsgen's ``heat`` hook, and retunes the
+        #: TsDEFER filter at each epoch boundary.
+        self.policy = make_policy(exp.predict, exp.seed)
+        hooks = [h for h in (tsdefer, self.policy, self.commit_log)
+                 if h is not None]
+        if self.policy is not None and exp.predict.steer and self.tskd.use_tspar:
+            self.tskd.tspar.tsgen_kwargs["heat"] = self.policy
+        if self.policy is not None and exp.predict.retune and tsdefer is not None:
+            tsdefer.heat = self.policy
         #: Optional span sink: engine events stream into it across every
         #: epoch, and execute() adds one "epoch" event per epoch so the
         #: Chrome exporter can draw the epoch track (repro trace --chrome).
@@ -252,6 +264,12 @@ class EpochExecutor:
                 attrs={"epoch": epoch_id, "start_cycles": start,
                        "committed": len(self.commit_log.attempts),
                        "aborts": result.counters.aborts}))
+        if self.policy is not None:
+            dispatched = sum(len(buf) for phase in plan.phases
+                             for buf in phase)
+            self.policy.end_epoch(self.tsdefer,
+                                  aborts=result.counters.aborts,
+                                  dispatched=dispatched)
         return EpochOutcome(
             epoch_id=epoch_id,
             attempts=self.commit_log.drain(),
@@ -441,12 +459,48 @@ class EpochPipeline:
         return self._staged.qsize()
 
     async def run(self) -> None:
-        """Consume the batcher until shutdown; returns once drained."""
+        """Consume the batcher until shutdown; returns once drained.
+
+        Static servers overlap the stages; adaptive servers (executor has
+        a :class:`~repro.predict.policy.OnlinePolicy`) run a serial
+        schedule→execute loop instead — prediction feeds the sketch on
+        commit and reads it while scheduling, so the stages no longer
+        touch disjoint state and overlap would make schedules depend on
+        thread timing.  Serialising keeps the live server bit-identical
+        to :func:`replay_epochs`, at the cost of the scheduling-latency
+        overlap (docs/adaptive.md quantifies it).
+        """
         try:
-            await asyncio.gather(self._schedule_loop(), self._execute_loop())
+            if self.executor.policy is not None:
+                await self._serial_loop()
+            else:
+                await asyncio.gather(self._schedule_loop(), self._execute_loop())
         finally:
             self._sched_pool.shutdown(wait=False)
             self._exec_pool.shutdown(wait=False)
+
+    async def _serial_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            epoch = await self.batcher.next_epoch()
+            if epoch is None:
+                return
+            self.in_flight += 1
+            epoch.sched_start = self._clock()
+            plan = await loop.run_in_executor(
+                self._sched_pool,
+                self.executor.schedule,
+                epoch.transactions(),
+                epoch.epoch_id,
+            )
+            epoch.sched_end = self._clock()
+            epoch.exec_start = self._clock()
+            outcome = await loop.run_in_executor(
+                self._exec_pool, self.executor.execute, plan, epoch.epoch_id
+            )
+            epoch.exec_end = self._clock()
+            self.in_flight -= 1
+            self._finish(epoch, outcome)
 
     async def _schedule_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -479,26 +533,29 @@ class EpochPipeline:
             )
             epoch.exec_end = self._clock()
             self.in_flight -= 1
-            span = EpochSpan(
-                epoch_id=epoch.epoch_id,
-                size=epoch.size,
-                reason=epoch.reason,
-                opened_at=epoch.opened_at,
-                closed_at=epoch.closed_at,
-                sched_start=epoch.sched_start,
-                sched_end=epoch.sched_end,
-                exec_start=epoch.exec_start,
-                exec_end=epoch.exec_end,
-                start_cycles=outcome.start_cycles,
-                end_cycles=outcome.end_cycles,
-                committed=outcome.committed,
-                aborts=outcome.aborts,
-                tids=[s.tid for s in epoch.subs] if self.record_tids else None,
-            )
-            self.spans.append(span)
-            self._resolve(epoch, outcome)
-            if self.on_epoch is not None:
-                self.on_epoch(epoch, outcome, span)
+            self._finish(epoch, outcome)
+
+    def _finish(self, epoch: Epoch, outcome: EpochOutcome) -> None:
+        span = EpochSpan(
+            epoch_id=epoch.epoch_id,
+            size=epoch.size,
+            reason=epoch.reason,
+            opened_at=epoch.opened_at,
+            closed_at=epoch.closed_at,
+            sched_start=epoch.sched_start,
+            sched_end=epoch.sched_end,
+            exec_start=epoch.exec_start,
+            exec_end=epoch.exec_end,
+            start_cycles=outcome.start_cycles,
+            end_cycles=outcome.end_cycles,
+            committed=outcome.committed,
+            aborts=outcome.aborts,
+            tids=[s.tid for s in epoch.subs] if self.record_tids else None,
+        )
+        self.spans.append(span)
+        self._resolve(epoch, outcome)
+        if self.on_epoch is not None:
+            self.on_epoch(epoch, outcome, span)
 
     def _resolve(self, epoch: Epoch, outcome: EpochOutcome) -> None:
         for sub in epoch.subs:

@@ -136,6 +136,10 @@ class ServeServer:
             self._tid_req,
         )
 
+    def _admission_policy(self):
+        """The adaptive policy consulted at admission, or None (static)."""
+        return self.executor.policy
+
     # -- lifecycle --------------------------------------------------------
     @property
     def port(self) -> int:
@@ -185,6 +189,11 @@ class ServeServer:
                 await self._drain_backend()
                 if self.tracer is not None:
                     self.tracer.close()
+                policy = self._admission_policy()
+                if policy is not None:
+                    # Final predict.* counters/gauges for the artifact's
+                    # metrics registry (live values ride the stats frame).
+                    policy.publish(self.metrics)
                 # Set before exporting so the artifact's summary carries
                 # the post-drain state digest.
                 self._drained.set()
@@ -261,6 +270,19 @@ class ServeServer:
             txn = txn_from_wire(doc["txn"], tid=self._next_tid)
         except WireError as e:
             writer.write(encode_frame(error_frame(str(e))))
+            return
+        policy = self._admission_policy()
+        if policy is not None and policy.should_reject(
+            txn, self._pending / max(1, self.serve.queue_limit)
+        ):
+            # Priority admission band: with the queue running hot, shed
+            # predicted-conflict-prone transactions first so cold traffic
+            # keeps flowing (docs/adaptive.md).  The tid is not consumed.
+            self.metrics.counter(
+                "predict.admission_shed",
+                "predicted-hot submits shed under backpressure",
+            ).inc()
+            self._reject_now(req_id, writer)
             return
         self._next_tid += 1
         self._pending += 1
@@ -379,7 +401,7 @@ class ServeServer:
         ``epochs_by_reason``, and the full ``metrics`` registry snapshot
         feed ``repro watch`` (see repro.obs.live).
         """
-        return {
+        doc = {
             "submitted": self._submitted,
             "admitted": self._admitted,
             "rejected": self._rejected,
@@ -404,6 +426,12 @@ class ServeServer:
             "epochs_by_reason": dict(self.batcher.closed_by_reason),
             "metrics": self.metrics.to_dict(),
         }
+        policy = self._admission_policy()
+        if policy is not None:
+            # Live sketch heat + retune trail for `repro watch`; the key
+            # is absent on static servers so their frame is unchanged.
+            doc["predict"] = policy.snapshot()
+        return doc
 
     def summary(self) -> dict:
         lat = sorted(self._response_ms)
@@ -439,6 +467,10 @@ class ServeServer:
             "pipeline_depth": self.serve.pipeline_depth,
         }
 
+    def _predict_section(self) -> Optional[dict]:
+        policy = self._admission_policy()
+        return policy.snapshot() if policy is not None else None
+
     def artifact(self) -> dict:
         return build_serve_artifact(
             self.server_info(),
@@ -446,6 +478,7 @@ class ServeServer:
             [span.to_dict() for span in self.pipeline.spans],
             metrics=self.metrics,
             config=self.exp,
+            predict=self._predict_section(),
         )
 
     def _export(self, path: str) -> dict:
@@ -456,4 +489,5 @@ class ServeServer:
             [span.to_dict() for span in self.pipeline.spans],
             metrics=self.metrics,
             config=self.exp,
+            predict=self._predict_section(),
         )

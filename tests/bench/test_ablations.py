@@ -56,3 +56,12 @@ class TestAblationSeries:
         cell = series.get("DBCC", "ycsb")
         assert cell.latency_p99 >= cell.latency_p50 > 0
         assert any("p99" in note for note in series.notes)
+
+    def test_adaptive_series_has_all_four_cells(self):
+        series = run_experiment("abl_adaptive", TINY)
+        assert set(series.x_values) == {"stationary/static",
+                                        "stationary/adaptive",
+                                        "drift/static", "drift/adaptive"}
+        for x in series.x_values:
+            assert series.get("TSKD[0]", x).throughput > 0
+        assert any("observe-only" in note for note in series.notes)

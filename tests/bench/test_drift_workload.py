@@ -1,0 +1,70 @@
+"""Drifting-hotspot YCSB (the non-stationary regime repro.predict targets)."""
+
+from repro.common.config import YcsbConfig
+from repro.bench.workloads import (
+    YcsbGenerator,
+    drift_offsets,
+    drifting_ycsb_workload,
+)
+
+CFG = YcsbConfig(num_records=10_000, theta=0.9, ops_per_txn=8)
+
+
+def _hot_keys(txns, top=20):
+    from collections import Counter
+
+    counts = Counter(k for t in txns for k in t.access_set)
+    return {k for k, _ in counts.most_common(top)}
+
+
+class TestDriftOffsets:
+    def test_seeded_and_first_segment_unshifted(self):
+        a = drift_offsets(4, seed=9)
+        b = drift_offsets(4, seed=9)
+        c = drift_offsets(4, seed=10)
+        assert a == b
+        assert a != c
+        assert a[0] == 0
+        assert len(set(a)) == 4
+
+    def test_single_segment_is_identity(self):
+        assert drift_offsets(1, seed=5) == [0]
+
+
+class TestDriftingWorkload:
+    def test_head_identical_to_undrifted(self):
+        """Segment 0 has offset 0: the first drift_every transactions
+        must be byte-for-byte the plain YCSB stream."""
+        plain = YcsbGenerator(CFG, seed=3).make_workload(120)
+        drifted = drifting_ycsb_workload(CFG, 120, seed=3, drift_every=60)
+        for p, d in zip(plain.transactions[:60], drifted.transactions[:60]):
+            assert p.read_set == d.read_set
+            assert p.write_set == d.write_set
+
+    def test_hotspot_actually_migrates(self):
+        w = drifting_ycsb_workload(CFG, 400, seed=3, drift_every=200)
+        txns = w.transactions
+        first, second = _hot_keys(txns[:200]), _hot_keys(txns[200:])
+        # Disjoint hot sets: the FNV remap scatters the old hotspot.
+        assert not (first & second)
+
+    def test_reproducible(self):
+        a = drifting_ycsb_workload(CFG, 200, seed=3, drift_every=50)
+        b = drifting_ycsb_workload(CFG, 200, seed=3, drift_every=50)
+        assert ([t.access_set for t in a.transactions]
+                == [t.access_set for t in b.transactions])
+
+    def test_skew_shape_preserved_per_segment(self):
+        """Drift moves the hotspot, it does not flatten it: each segment
+        stays Zipf-concentrated."""
+        w = drifting_ycsb_workload(CFG, 400, seed=3, drift_every=200)
+        from collections import Counter
+
+        txns = w.transactions
+        for seg in (txns[:200], txns[200:]):
+            counts = Counter(k for t in seg for k in t.access_set)
+            total = sum(counts.values())
+            top20 = sum(c for _, c in counts.most_common(20))
+            # Uniform access over 10k records would put ~0.2% of traffic
+            # on any 20 keys; Zipf theta=0.9 concentrates >15% there.
+            assert top20 / total > 0.15

@@ -1,0 +1,76 @@
+"""CLI surface of the adaptive layer."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.artifact import load_artifact, validate_artifact
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+SMALL = ("--bundle", "150", "--threads", "4", "--records", "2000",
+         "--seed", "1")
+
+
+class TestRunAdaptive:
+    def test_adaptive_run_exits_clean(self, capsys):
+        code, out = run_cli(capsys, "run", *SMALL, "--system", "tskd-0",
+                            "--theta", "0.9", "--adaptive")
+        assert code == 0
+
+    def test_adaptive_artifact_carries_predict_section(self, capsys,
+                                                       tmp_path):
+        path = tmp_path / "adaptive.json"
+        code, _ = run_cli(capsys, "run", *SMALL, "--system", "tskd-0",
+                          "--theta", "0.9", "--adaptive",
+                          "--export-json", str(path))
+        assert code == 0
+        doc = load_artifact(path)
+        validate_artifact(doc)
+        assert doc["predict"]["epoch"] >= 1
+        assert doc["config"]["predict"]["enabled"] is True
+
+    def test_plain_run_artifact_has_no_predict_key(self, capsys, tmp_path):
+        path = tmp_path / "static.json"
+        code, _ = run_cli(capsys, "run", *SMALL, "--system", "tskd-0",
+                          "--export-json", str(path))
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert "predict" not in doc
+        assert "predict" not in doc["config"]
+
+    def test_adaptive_rejects_open_arrivals(self, capsys):
+        with pytest.raises(SystemExit, match="adaptive"):
+            main(["run", *SMALL, "--system", "tskd-0", "--adaptive",
+                  "--offered-tps", "1000"])
+
+
+class TestServeTraceGuard:
+    def test_trace_with_shards_exits_2(self, capsys, tmp_path):
+        code = main(["serve", "--trace", str(tmp_path / "t.jsonl"),
+                     "--shards", "2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cross-process tracing unsupported" in captured.err
+        assert "--shards 1" in captured.err
+
+    def test_trace_with_one_shard_passes_the_guard(self, tmp_path,
+                                                   monkeypatch):
+        """--shards 1 must not trip the guard: the command should get as
+        far as launching the server (stubbed out here)."""
+        import repro.cli as cli
+
+        async def fake_serve_main(serve_cfg, exp, args):
+            assert args.shards == 1
+            return 0
+
+        monkeypatch.setattr(cli, "_serve_main", fake_serve_main)
+        code = cli.main(["serve", "--trace", str(tmp_path / "t.jsonl"),
+                         "--shards", "1", "--port", "0"])
+        assert code == 0

@@ -1,0 +1,55 @@
+"""Conflict scoring over the write-set sketch."""
+
+from repro import make_transaction, read, write
+from repro.predict.score import conflict_score, predicted_hot_keys
+from repro.predict.sketch import DecayedCountMinSketch
+
+
+def _sketch_with(writes):
+    sk = DecayedCountMinSketch(width=256, depth=3, seed=1)
+    sk.update_many(writes)
+    return sk
+
+
+def _txn(tid, ops):
+    return make_transaction(tid, ops)
+
+
+class TestConflictScore:
+    def test_cold_transaction_scores_zero(self):
+        sk = _sketch_with([("x", 1)] * 5)
+        t = _txn(1, [read("x", 99), write("x", 98)])
+        assert conflict_score(t, sk) == 0.0
+
+    def test_writes_count_full_reads_discounted(self):
+        sk = _sketch_with([("x", 1)] * 4)
+        writer = _txn(1, [write("x", 1)])
+        reader = _txn(2, [read("x", 1)])
+        w_score = conflict_score(writer, sk, read_weight=0.5)
+        r_score = conflict_score(reader, sk, read_weight=0.5)
+        assert w_score == sk.estimate(("x", 1))
+        assert r_score == 0.5 * w_score
+
+    def test_zero_read_weight_ignores_reads(self):
+        sk = _sketch_with([("x", 1)] * 4)
+        reader = _txn(1, [read("x", 1)])
+        assert conflict_score(reader, sk, read_weight=0.0) == 0.0
+
+    def test_score_sums_over_accesses(self):
+        sk = _sketch_with([("x", 1)] * 3 + [("x", 2)] * 2)
+        t = _txn(1, [write("x", 1), write("x", 2)])
+        assert conflict_score(t, sk) == (
+            sk.estimate(("x", 1)) + sk.estimate(("x", 2)))
+
+
+class TestPredictedHotKeys:
+    def test_threshold_splits_hot_from_cold(self):
+        sk = _sketch_with([("x", 1)] * 5 + [("x", 2)])
+        t = _txn(1, [write("x", 1), write("x", 2), read("x", 3)])
+        hot = predicted_hot_keys(t, sk, threshold=3.0)
+        assert hot == frozenset({("x", 1)})
+
+    def test_reads_can_be_hot_too(self):
+        sk = _sketch_with([("x", 7)] * 4)
+        t = _txn(1, [read("x", 7)])
+        assert predicted_hot_keys(t, sk, threshold=2.0) == frozenset({("x", 7)})

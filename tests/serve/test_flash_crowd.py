@@ -1,0 +1,43 @@
+"""Flash-crowd arrival schedules (satellite of the adaptive layer)."""
+
+import pytest
+
+from repro.serve.loadgen import flash_crowd_schedule, poisson_schedule
+
+
+class TestFlashCrowdSchedule:
+    def test_mult_one_degenerates_to_poisson(self):
+        base = poisson_schedule(300, 2_000.0, seed=7)
+        flat = flash_crowd_schedule(300, 2_000.0, seed=7,
+                                    every_s=1.0, burst_s=0.25, mult=1.0)
+        assert flat == base
+
+    def test_seeded_and_deterministic(self):
+        kw = dict(every_s=0.5, burst_s=0.1, mult=8.0)
+        a = flash_crowd_schedule(200, 5_000.0, seed=11, **kw)
+        b = flash_crowd_schedule(200, 5_000.0, seed=11, **kw)
+        c = flash_crowd_schedule(200, 5_000.0, seed=12, **kw)
+        assert a == b
+        assert a != c
+        assert all(later > earlier for earlier, later in zip(a, a[1:]))
+
+    def test_bursts_compress_arrivals(self):
+        """Arrivals inside flash windows come mult-times faster, so the
+        in-burst fraction of arrivals far exceeds the burst duty cycle."""
+        every, burst, mult = 1.0, 0.2, 10.0
+        sched = flash_crowd_schedule(4_000, 1_000.0, seed=3,
+                                     every_s=every, burst_s=burst, mult=mult)
+        in_burst = sum(1 for t in sched if (t % every) < burst)
+        duty = burst / every
+        assert in_burst / len(sched) > 2 * duty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_schedule(10, 0.0, 0, every_s=1.0, burst_s=0.1,
+                                 mult=2.0)
+        with pytest.raises(ValueError):
+            flash_crowd_schedule(10, 100.0, 0, every_s=1.0, burst_s=2.0,
+                                 mult=2.0)
+        with pytest.raises(ValueError):
+            flash_crowd_schedule(10, 100.0, 0, every_s=1.0, burst_s=0.1,
+                                 mult=0.5)

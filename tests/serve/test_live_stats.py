@@ -158,6 +158,31 @@ class TestRenderDashboard:
                  "rejected": 0, "committed": 0, "pending": 0}
         text = render_dashboard(stats)
         assert "submitted 0" in text
+        assert "predict" not in text
+
+    def test_renders_predict_section(self):
+        stats = {
+            "uptime_s": 5.0, "submitted": 50, "admitted": 50,
+            "rejected": 0, "committed": 40, "pending": 10,
+            "predict": {
+                "epoch": 6, "commits_observed": 40, "hot_keys": 3,
+                "heat_total": 128.5,
+                "top_k": [["('x', 7)", 9.5], ["('x', 2)", 4.0]],
+                "steer_reorders": 12, "defer_boosts": 30,
+                "admission_checked": 8, "admission_rejected_hot": 5,
+                "drift_events": 1,
+                "knobs": {"num_lookups": 5, "defer_prob": 0.8},
+                "retunes": [{"epoch": 4, "action": "probe", "rate": 0.25,
+                             "num_lookups": 5, "defer_prob": 0.8}],
+            },
+        }
+        text = render_dashboard(stats)
+        assert "predict: epoch 6" in text
+        assert "hot keys 3" in text
+        assert "('x', 7)≈9.5" in text
+        assert "#lookups=5 deferp=0.8" in text
+        assert "last retune: probe -> (5, 0.8) @ epoch 4" in text
+        assert "drift events 1" in text
 
 
 class TestTracePathsThroughServer:
